@@ -1,0 +1,407 @@
+//! `cilksort`: parallel mergesort with parallel merge (paper Figure 4).
+//!
+//! The top-level function sorts the four quarters of the input in place
+//! (hinted `@p0..@p3`), merges quarter pairs at `@p0`/`@p2`, and performs
+//! the final merge unconstrained — exactly the structure of the paper's
+//! pseudocode. Recursive calls inherit their parent's hint.
+
+use crate::common::pages_for;
+use numa_ws::{join4_at, join_at, Place};
+use nws_sim::{Dag, DagBuilder, FrameId, PagePolicy, RegionId, Strand, Touch};
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Number of 64-bit keys to sort.
+    pub n: usize,
+    /// Below this size, sort sequentially (the paper's coarsening).
+    pub sort_base: usize,
+    /// Below this output size, merge sequentially.
+    pub merge_base: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        // Scaled from the paper's 1.3e8 / 1k to run in seconds on this host.
+        Params { n: 1 << 22, sort_base: 1 << 13, merge_base: 1 << 13 }
+    }
+}
+
+impl Params {
+    /// A smaller configuration for the simulator (same recursive shape).
+    pub fn sim() -> Self {
+        Params { n: 1 << 20, sort_base: 1 << 13, merge_base: 1 << 13 }
+    }
+
+    /// A tiny configuration for tests.
+    pub fn test() -> Self {
+        Params { n: 1 << 12, sort_base: 1 << 7, merge_base: 1 << 7 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial elision
+// ---------------------------------------------------------------------------
+
+/// Sorts `data` with the serial elision of the parallel algorithm: the same
+/// 4-way recursion and merges, minus the parallel keywords.
+pub fn sort_serial(data: &mut [u64], tmp: &mut [u64], params: Params) {
+    assert_eq!(data.len(), tmp.len(), "tmp must match data length");
+    serial_rec(data, tmp, params.sort_base);
+}
+
+fn serial_rec(data: &mut [u64], tmp: &mut [u64], base: usize) {
+    let n = data.len();
+    if n <= base {
+        data.sort_unstable(); // the paper's in-place sequential sort
+        return;
+    }
+    let q = n / 4;
+    {
+        let (a, rest) = data.split_at_mut(q);
+        let (b, rest) = rest.split_at_mut(q);
+        let (c, d) = rest.split_at_mut(q);
+        let (ta, trest) = tmp.split_at_mut(q);
+        let (tb, trest) = trest.split_at_mut(q);
+        let (tc, td) = trest.split_at_mut(q);
+        serial_rec(a, ta, base);
+        serial_rec(b, tb, base);
+        serial_rec(c, tc, base);
+        serial_rec(d, td, base);
+    }
+    // Merge quarters pairwise into tmp, then tmp halves back into data.
+    let h = 2 * q;
+    merge_serial(&data[..q], &data[q..h], &mut tmp[..h]);
+    merge_serial(&data[h..h + q], &data[h + q..], &mut tmp[h..]);
+    let (t1, t2) = tmp.split_at(h);
+    merge_serial(t1, t2, data);
+}
+
+fn merge_serial(a: &[u64], b: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel version (real runtime)
+// ---------------------------------------------------------------------------
+
+/// Sorts `data` in parallel on the current pool (call inside
+/// [`Pool::install`](numa_ws::Pool::install)), with Figure 4's locality
+/// hints. `places` is the pool's place count (hints wrap regardless; passing
+/// the real count just names the quarters as the paper does).
+pub fn sort_parallel(data: &mut [u64], tmp: &mut [u64], params: Params, places: usize) {
+    assert_eq!(data.len(), tmp.len(), "tmp must match data length");
+    let p = |i: usize| Place(i % places.max(1));
+    sort_top(data, tmp, params, [p(0), p(1), p(2), p(3)]);
+}
+
+/// The paper's MERGESORTTOP: quarters at places 0..3, pair-merges at 0 and
+/// 2, final merge anywhere.
+fn sort_top(data: &mut [u64], tmp: &mut [u64], params: Params, places: [Place; 4]) {
+    let n = data.len();
+    if n <= params.sort_base {
+        data.sort_unstable();
+        return;
+    }
+    let q = n / 4;
+    let h = 2 * q;
+    {
+        let (a, rest) = data.split_at_mut(q);
+        let (b, rest) = rest.split_at_mut(q);
+        let (c, d) = rest.split_at_mut(q);
+        let (ta, trest) = tmp.split_at_mut(q);
+        let (tb, trest) = trest.split_at_mut(q);
+        let (tc, td) = trest.split_at_mut(q);
+        let base = params.sort_base;
+        join4_at(
+            places,
+            || sort_rec(a, ta, base),
+            || sort_rec(b, tb, base),
+            || sort_rec(c, tc, base),
+            || sort_rec(d, td, base),
+        );
+    }
+    {
+        let (t12, t34) = tmp.split_at_mut(h);
+        let (d1, rest) = data.split_at(q);
+        let (d2, rest) = rest.split_at(q);
+        let (d3, d4) = rest.split_at(q);
+        join_at(
+            || merge_parallel(d1, d2, t12, params.merge_base),
+            || merge_parallel(d3, d4, t34, params.merge_base),
+            places[2],
+        );
+    }
+    let (t1, t2) = tmp.split_at(h);
+    merge_parallel(t1, t2, data, params.merge_base); // @ANY
+}
+
+/// MERGESORT: same recursion, hints inherited (none set here).
+fn sort_rec(data: &mut [u64], tmp: &mut [u64], base: usize) {
+    let n = data.len();
+    if n <= base {
+        data.sort_unstable();
+        return;
+    }
+    let q = n / 4;
+    let h = 2 * q;
+    {
+        let (a, rest) = data.split_at_mut(q);
+        let (b, rest) = rest.split_at_mut(q);
+        let (c, d) = rest.split_at_mut(q);
+        let (ta, trest) = tmp.split_at_mut(q);
+        let (tb, trest) = trest.split_at_mut(q);
+        let (tc, td) = trest.split_at_mut(q);
+        numa_ws::join4(
+            || sort_rec(a, ta, base),
+            || sort_rec(b, tb, base),
+            || sort_rec(c, tc, base),
+            || sort_rec(d, td, base),
+        );
+    }
+    {
+        let (t12, t34) = tmp.split_at_mut(h);
+        let (d1, rest) = data.split_at(q);
+        let (d2, rest) = rest.split_at(q);
+        let (d3, d4) = rest.split_at(q);
+        numa_ws::join(
+            || merge_parallel(d1, d2, t12, base),
+            || merge_parallel(d3, d4, t34, base),
+        );
+    }
+    let (t1, t2) = tmp.split_at(h);
+    merge_parallel(t1, t2, data, base);
+}
+
+/// PARMERGE: parallel merge by splitting the larger input at its median and
+/// binary-searching the split point in the other.
+fn merge_parallel(a: &[u64], b: &[u64], out: &mut [u64], base: usize) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    if out.len() <= base {
+        merge_serial(a, b, out);
+        return;
+    }
+    // Ensure `a` is the larger run.
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    if a.is_empty() {
+        return;
+    }
+    let ma = a.len() / 2;
+    let pivot = a[ma];
+    let mb = b.partition_point(|&x| x < pivot);
+    let (a1, a2) = a.split_at(ma);
+    let (b1, b2) = b.split_at(mb);
+    let (o1, o2) = out.split_at_mut(ma + mb);
+    numa_ws::join(
+        || merge_parallel(a1, b1, o1, base),
+        || merge_parallel(a2, b2, o2, base),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Simulator DAG
+// ---------------------------------------------------------------------------
+
+/// Cycle model: coarsened sequential sort of `n` keys.
+fn sort_leaf_cycles(n: u64) -> u64 {
+    // ~c * n * log2(base) comparisons-and-moves.
+    let log = 64 - (n.max(2) - 1).leading_zeros() as u64;
+    6 * n * log
+}
+
+/// Cycle model: serial merge producing `n` keys.
+fn merge_leaf_cycles(n: u64) -> u64 {
+    8 * n
+}
+
+struct DagCtx {
+    array: RegionId,
+    tmp: RegionId,
+    sort_base: u64,
+    merge_base: u64,
+}
+
+/// Builds the simulator DAG for cilksort: same recursion, hints, and
+/// footprints as the real code, with elements mapped onto pages (512 keys
+/// per page).
+pub fn dag(params: Params, places: usize) -> Dag {
+    let n = params.n as u64;
+    let mut b = DagBuilder::new();
+    let pages = pages_for(n, 8);
+    // The paper binds the i-th quarter of both arrays at the i-th place.
+    let array = b.alloc("array", pages, PagePolicy::Chunked { chunks: places.max(1) });
+    let tmp = b.alloc("tmp", pages, PagePolicy::Chunked { chunks: places.max(1) });
+    let ctx = DagCtx {
+        array,
+        tmp,
+        sort_base: params.sort_base as u64,
+        merge_base: params.merge_base as u64,
+    };
+    let root = build_sort(&mut b, &ctx, 0, n, Place(0), true, places);
+    b.build(root)
+}
+
+fn touch(region: RegionId, first_elem: u64, n: u64) -> Touch {
+    let first_page = first_elem / 512;
+    let last_page = (first_elem + n).div_ceil(512).max(first_page + 1);
+    Touch { region, start_page: first_page, pages: last_page - first_page, lines_per_page: 64 }
+}
+
+fn build_sort(
+    b: &mut DagBuilder,
+    ctx: &DagCtx,
+    lo: u64,
+    n: u64,
+    place: Place,
+    top: bool,
+    places: usize,
+) -> FrameId {
+    if n <= ctx.sort_base {
+        return b
+            .frame(place)
+            .strand(Strand {
+                cycles: sort_leaf_cycles(n),
+                touches: vec![touch(ctx.array, lo, n)],
+            })
+            .finish();
+    }
+    let q = n / 4;
+    let h = 2 * q;
+    let quarter_place = |i: usize| -> Place {
+        if top {
+            Place(i % places.max(1))
+        } else {
+            place
+        }
+    };
+    let s0 = build_sort(b, ctx, lo, q, quarter_place(0), false, places);
+    let s1 = build_sort(b, ctx, lo + q, q, quarter_place(1), false, places);
+    let s2 = build_sort(b, ctx, lo + h, q, quarter_place(2), false, places);
+    let s3 = build_sort(b, ctx, lo + h + q, n - h - q, quarter_place(3), false, places);
+    let m1 = build_merge(b, ctx, lo, h, quarter_place(0), false);
+    let m2 = build_merge(b, ctx, lo + h, n - h, quarter_place(2), false);
+    let m3 = build_merge(b, ctx, lo, n, if top { Place::ANY } else { place }, true);
+    b.frame(place)
+        .spawn(s0)
+        .spawn(s1)
+        .spawn(s2)
+        .spawn(s3)
+        .sync()
+        .spawn(m1)
+        .spawn(m2)
+        .sync()
+        .spawn(m3)
+        .sync()
+        .finish()
+}
+
+/// A parallel-merge subtree producing `n` keys at `array[lo..lo+n]` (or
+/// into tmp when `to_array` is false; the traffic is symmetric, so both
+/// arrays are touched either way).
+fn build_merge(b: &mut DagBuilder, ctx: &DagCtx, lo: u64, n: u64, place: Place, to_array: bool) -> FrameId {
+    if n <= ctx.merge_base {
+        let (src, dst) = if to_array { (ctx.tmp, ctx.array) } else { (ctx.array, ctx.tmp) };
+        return b
+            .frame(place)
+            .strand(Strand {
+                cycles: merge_leaf_cycles(n),
+                touches: vec![touch(src, lo, n), touch(dst, lo, n)],
+            })
+            .finish();
+    }
+    let l = build_merge(b, ctx, lo, n / 2, place, to_array);
+    let r = build_merge(b, ctx, lo + n / 2, n - n / 2, place, to_array);
+    b.frame(place)
+        .compute(60) // binary-search split
+        .spawn(l)
+        .spawn(r)
+        .sync()
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::random_keys;
+    use numa_ws::Pool;
+
+    #[test]
+    fn serial_sorts_correctly() {
+        let mut data = random_keys(5000, 1);
+        let mut expect = data.clone();
+        let mut tmp = vec![0u64; data.len()];
+        sort_serial(&mut data, &mut tmp, Params::test());
+        expect.sort_unstable();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn serial_handles_non_power_of_four() {
+        for n in [1usize, 2, 3, 129, 1000, 4097] {
+            let mut data = random_keys(n, 2);
+            let mut expect = data.clone();
+            let mut tmp = vec![0u64; n];
+            sort_serial(&mut data, &mut tmp, Params::test());
+            expect.sort_unstable();
+            assert_eq!(data, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let pool = Pool::builder().workers(8).places(4).build().unwrap();
+        let mut data = random_keys(1 << 14, 3);
+        let mut expect = data.clone();
+        let mut tmp = vec![0u64; data.len()];
+        pool.install(|| sort_parallel(&mut data, &mut tmp, Params::test(), 4));
+        expect.sort_unstable();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn parallel_merge_correct() {
+        let pool = Pool::new(4).unwrap();
+        let mut a = random_keys(1000, 4);
+        let mut b = random_keys(1500, 5);
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut out = vec![0u64; 2500];
+        pool.install(|| merge_parallel(&a, &b, &mut out, 64));
+        let mut expect = [a, b].concat();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn dag_builds_with_sensible_shape() {
+        let d = dag(Params { n: 1 << 16, sort_base: 1 << 10, merge_base: 1 << 10 }, 4);
+        d.validate().unwrap();
+        assert!(d.num_frames() > 100);
+        // Parallelism should be ample: work/span >> 4.
+        assert!(d.work() / d.span().max(1) > 8, "parallelism too low");
+    }
+
+    #[test]
+    fn dag_quarters_carry_distinct_hints() {
+        let d = dag(Params { n: 1 << 14, sort_base: 1 << 10, merge_base: 1 << 10 }, 4);
+        let root = d.frame(d.root());
+        let mut places = Vec::new();
+        for s in &root.steps {
+            if let nws_sim::Step::Spawn(c) = s {
+                places.push(d.frame(*c).place);
+            }
+        }
+        // First four spawns are the hinted quarters.
+        assert_eq!(&places[..4], &[Place(0), Place(1), Place(2), Place(3)]);
+    }
+}

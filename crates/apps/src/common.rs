@@ -1,0 +1,104 @@
+//! Shared helpers for the benchmark suite: seeded input generation and
+//! small numeric utilities.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for inputs — every benchmark's data is reproducible
+/// from a seed.
+pub fn input_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A vector of uniformly random `u64` keys.
+pub fn random_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = input_rng(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// A 2D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+/// Points uniformly distributed *inside* the unit disk — the paper's
+/// `hull1` data set ("randomly generated points that lie within a sphere"),
+/// where quickhull eliminates interior points quickly.
+pub fn points_in_disk(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = input_rng(seed);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let x: f64 = rng.gen_range(-1.0..1.0);
+        let y: f64 = rng.gen_range(-1.0..1.0);
+        if x * x + y * y <= 1.0 {
+            pts.push(Point { x, y });
+        }
+    }
+    pts
+}
+
+/// Points *on* the unit circle — the paper's `hull2` data set ("randomly
+/// generated points that lie on a sphere"), where every point is on the
+/// hull and elimination is hard.
+pub fn points_on_circle(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = input_rng(seed);
+    (0..n)
+        .map(|_| {
+            let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            Point { x: theta.cos(), y: theta.sin() }
+        })
+        .collect()
+}
+
+/// Pages needed for `n` elements of `elem_bytes` bytes (4 KiB pages).
+pub fn pages_for(n: u64, elem_bytes: u64) -> u64 {
+    (n * elem_bytes).div_ceil(4096).max(1)
+}
+
+/// Maximum absolute elementwise difference between two slices.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_keys_deterministic() {
+        assert_eq!(random_keys(100, 7), random_keys(100, 7));
+        assert_ne!(random_keys(100, 7), random_keys(100, 8));
+    }
+
+    #[test]
+    fn disk_points_inside() {
+        for p in points_in_disk(1000, 3) {
+            assert!(p.x * p.x + p.y * p.y <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn circle_points_on_boundary() {
+        for p in points_on_circle(1000, 3) {
+            assert!((p.x * p.x + p.y * p.y - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pages_round_up() {
+        assert_eq!(pages_for(1, 8), 1);
+        assert_eq!(pages_for(512, 8), 1);
+        assert_eq!(pages_for(513, 8), 2);
+    }
+
+    #[test]
+    fn max_abs_diff_basics() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

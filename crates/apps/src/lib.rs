@@ -1,0 +1,32 @@
+//! The NUMA-WS paper's benchmark suite (§V).
+//!
+//! Every benchmark ships in three forms:
+//!
+//! 1. **serial elision** (`*_serial`) — the identical algorithm with the
+//!    parallel constructs removed; defines `TS`;
+//! 2. **parallel version** (`*_parallel`) — runs on the real
+//!    [`numa_ws`] runtime with Figure 4-style locality hints, inside
+//!    [`Pool::install`](numa_ws::Pool::install);
+//! 3. **simulator DAG** (`dag(...)`) — the same recursion, coarsening, and
+//!    memory footprints expressed as an [`nws_sim`] task DAG, which is what
+//!    regenerates the paper's tables and figures on the simulated
+//!    four-socket machine (see DESIGN.md §2).
+//!
+//! | module | paper benchmark | input |
+//! |---|---|---|
+//! | [`cg`] | NAS conjugate gradient | random SPD sparse matrix |
+//! | [`cilksort`] | mergesort + parallel merge | random u64 keys |
+//! | [`heat`] | Jacobi heat diffusion | hot square on cold plate |
+//! | [`hull`] | quickhull | in-disk (`hull1`) / on-circle (`hull2`) |
+//! | [`matmul`] | 8-way D&C matmul (+`-z`) | dense f64 |
+//! | [`strassen`] | Strassen (+`-z`) | dense f64 |
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod cilksort;
+pub mod common;
+pub mod heat;
+pub mod hull;
+pub mod matmul;
+pub mod strassen;

@@ -1,0 +1,57 @@
+//! The work-efficiency microbenchmark: serial fib vs one-worker parallel
+//! fib (`T1/TS`), the paper's central efficiency claim. With coarsening at
+//! fib(16) the spawn overhead all but vanishes; without coarsening every
+//! recursion step pays a join, which is the paper's argument for
+//! coarsening base cases. The workload (fib(30), ~7 ms) is large enough
+//! that pool-entry latency does not pollute the ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numa_ws::{join, Pool};
+
+fn fib_serial(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_serial(n - 1) + fib_serial(n - 2)
+    }
+}
+
+fn fib_coarse(n: u64) -> u64 {
+    if n < 16 {
+        return fib_serial(n);
+    }
+    let (a, b) = join(|| fib_coarse(n - 1), || fib_coarse(n - 2));
+    a + b
+}
+
+fn fib_fine(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib_fine(n - 1), || fib_fine(n - 2));
+    a + b
+}
+
+fn bench_work_efficiency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("work_efficiency_fib30");
+    // black_box the *input* so the compiler cannot constant-fold the
+    // serial recursion away.
+    g.bench_function("TS_serial_elision", |b| {
+        b.iter(|| fib_serial(std::hint::black_box(30)))
+    });
+    let pool1 = Pool::builder().workers(1).stats(false).build().unwrap();
+    g.bench_function("T1_coarsened", |b| {
+        b.iter(|| pool1.install(|| fib_coarse(std::hint::black_box(30))))
+    });
+    g.bench_function("T1_uncoarsened", |b| {
+        b.iter(|| pool1.install(|| fib_fine(std::hint::black_box(30))))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_work_efficiency
+}
+criterion_main!(benches);

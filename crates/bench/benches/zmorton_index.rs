@@ -1,0 +1,72 @@
+//! Microbenchmark for §III-C's index-cost claim: cell-by-cell Z-Morton
+//! index computation is costly; the blocked layout computes the interleave
+//! only per block; row-major indexing is the cheap baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nws_layout::{zmorton, BlockedZ, Matrix};
+
+fn bench_index_math(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_sum_256x256");
+    let n = 256usize;
+    g.bench_function("row_major", |b| {
+        let m = Matrix::from_fn(n, n, |r, c| (r * n + c) as u64);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 0..n {
+                for c in 0..n {
+                    acc = acc.wrapping_add(*m.get(r, c));
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("zmorton_cellwise", |b| {
+        // Cell-by-cell bit interleave on every access (Figure 6a).
+        let data: Vec<u64> = (0..n * n).map(|i| i as u64).collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 0..n as u32 {
+                for c in 0..n as u32 {
+                    acc = acc.wrapping_add(data[zmorton::encode(r, c) as usize]);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("blocked_z", |b| {
+        // Interleave once per 32x32 block (Figure 6b).
+        let m = Matrix::from_fn(n, n, |r, c| (r * n + c) as u64);
+        let z = BlockedZ::from_matrix(&m, 32);
+        b.iter(|| {
+            let mut acc = 0u64;
+            let bps = z.blocks_per_side();
+            for br in 0..bps {
+                for bc in 0..bps {
+                    for &v in z.block(br, bc) {
+                        acc = acc.wrapping_add(v);
+                    }
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout_transform_512");
+    let m = Matrix::from_fn(512, 512, |r, c| (r * 512 + c) as f64);
+    g.bench_function("to_blocked_z", |b| {
+        b.iter(|| std::hint::black_box(BlockedZ::from_matrix(&m, 32)))
+    });
+    let z = BlockedZ::from_matrix(&m, 32);
+    g.bench_function("to_row_major", |b| b.iter(|| std::hint::black_box(z.to_matrix())));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_index_math, bench_transform
+}
+criterion_main!(benches);

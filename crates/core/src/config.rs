@@ -1,0 +1,81 @@
+//! Runtime configuration types.
+
+use std::fmt;
+
+/// Which scheduling algorithm a [`Pool`](crate::Pool) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerMode {
+    /// Classic work stealing as in Cilk Plus (paper Figure 2): uniform
+    /// victim selection, no mailboxes, locality hints ignored. The
+    /// evaluation's baseline platform.
+    Classic,
+    /// NUMA-WS (paper Figure 5): locality-biased victim selection, a
+    /// single-entry mailbox per worker, lazy work pushing with a constant
+    /// threshold, and the coin-flip steal protocol.
+    NumaWs,
+}
+
+impl fmt::Display for SchedulerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerMode::Classic => write!(f, "classic"),
+            SchedulerMode::NumaWs => write!(f, "numa-ws"),
+        }
+    }
+}
+
+/// Errors from [`PoolBuilder::build`](crate::PoolBuilder::build).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildPoolError {
+    /// The worker/place counts don't fit the (possibly synthesized)
+    /// topology.
+    Topology(nws_topology::TopologyError),
+    /// Zero workers or zero places requested.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for BuildPoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildPoolError::Topology(e) => write!(f, "topology error: {e}"),
+            BuildPoolError::InvalidConfig(msg) => write!(f, "invalid pool config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildPoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildPoolError::Topology(e) => Some(e),
+            BuildPoolError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<nws_topology::TopologyError> for BuildPoolError {
+    fn from(e: nws_topology::TopologyError) -> Self {
+        BuildPoolError::Topology(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(SchedulerMode::Classic.to_string(), "classic");
+        assert_eq!(SchedulerMode::NumaWs.to_string(), "numa-ws");
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = BuildPoolError::from(nws_topology::TopologyError::Empty);
+        assert!(e.to_string().contains("topology error"));
+        assert!(e.source().is_some());
+        let e2 = BuildPoolError::InvalidConfig("zero workers".into());
+        assert!(e2.to_string().contains("zero workers"));
+        assert!(e2.source().is_none());
+    }
+}

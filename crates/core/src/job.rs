@@ -1,0 +1,212 @@
+//! Type-erased jobs stored in deques and mailboxes.
+//!
+//! A [`JobRef`] is the runtime's "frame": a raw pointer to a job living on
+//! some worker's stack plus its execute thunk and the **place hint** the
+//! NUMA-WS protocol routes by. The shadow-frame/full-frame economy of the
+//! paper appears here as: pushing a `JobRef` costs two words of deque
+//! traffic (shadow), while a *steal* is where the runtime pays for latches,
+//! result plumbing, and possibly a PUSHBACK episode (promotion to full).
+
+use crate::latch::Latch;
+use nws_topology::Place;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::mem::ManuallyDrop;
+use std::panic::{self, AssertUnwindSafe};
+
+/// A type-erased, place-annotated pointer to a job awaiting execution.
+///
+/// # Safety contract
+///
+/// The pointee must outlive the `JobRef` and be executed **exactly once**.
+/// The join protocol guarantees this: a `StackJob` lives on the stack of a
+/// worker that does not return before the job has been executed (inline or
+/// by a thief) and its latch set.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+    place: Place,
+}
+
+// SAFETY: JobRef hands a stack pointer across threads; the join protocol
+// (see module docs) keeps the pointee alive until execution completes.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Wraps a job.
+    ///
+    /// # Safety
+    ///
+    /// `data` must stay valid until the job executes, and the job must be
+    /// executed exactly once.
+    pub(crate) unsafe fn new<T: Job>(data: *const T, place: Place) -> JobRef {
+        JobRef { pointer: data as *const (), execute_fn: T::execute, place }
+    }
+
+    /// The locality hint attached at spawn time.
+    #[inline]
+    pub(crate) fn place(&self) -> Place {
+        self.place
+    }
+
+    /// Identity of the underlying job (used to recognize one's own job when
+    /// popping the deque).
+    #[inline]
+    pub(crate) fn id(&self) -> *const () {
+        self.pointer
+    }
+
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once, while the pointee is alive.
+    #[inline]
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+}
+
+/// Implemented by concrete job representations.
+pub(crate) trait Job {
+    /// Runs the job behind the type-erased pointer.
+    ///
+    /// # Safety
+    ///
+    /// `this` must be the pointer a [`JobRef::new`] was created from, alive
+    /// and not yet executed.
+    unsafe fn execute(this: *const ());
+}
+
+/// Outcome of a job, including a captured panic to re-throw at the join.
+pub(crate) enum JobResult<R> {
+    None,
+    Ok(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A job allocated on the spawning worker's stack (the `join` fast path —
+/// no heap allocation on the work path, per the work-first principle).
+///
+/// Generic over the latch: `join` uses a [`SpinLatch`] (the waiter steals
+/// while spinning), [`Pool::install`](crate::Pool::install) a blocking
+/// [`LockLatch`](crate::latch::LockLatch).
+pub(crate) struct StackJob<L, F, R> {
+    func: UnsafeCell<ManuallyDrop<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    /// Set when a thief finishes executing the job.
+    pub(crate) latch: L,
+}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(latch: L, func: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(ManuallyDrop::new(func)),
+            result: UnsafeCell::new(JobResult::None),
+            latch,
+        }
+    }
+
+    /// A [`JobRef`] pointing at this job.
+    ///
+    /// # Safety
+    ///
+    /// Caller must keep `self` alive until the ref is executed, and ensure
+    /// single execution.
+    pub(crate) unsafe fn as_job_ref(&self, place: Place) -> JobRef {
+        JobRef::new(self, place)
+    }
+
+    /// Runs the job on the owning worker (it was popped back un-stolen);
+    /// returns the result directly.
+    ///
+    /// # Safety
+    ///
+    /// The job must not have been executed (its `JobRef` is dead).
+    pub(crate) unsafe fn run_inline(self) -> R {
+        let func = ManuallyDrop::into_inner(self.func.into_inner());
+        func()
+    }
+
+    /// Takes the result stored by a thief.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job never ran (protocol bug).
+    pub(crate) unsafe fn into_result(self) -> Result<R, Box<dyn Any + Send>> {
+        match self.result.into_inner() {
+            JobResult::Ok(r) => Ok(r),
+            JobResult::Panicked(payload) => Err(payload),
+            JobResult::None => unreachable!("join waited on a latch that was never set"),
+        }
+    }
+}
+
+impl<L, F, R> Job for StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const ()) {
+        let this = &*(this as *const Self);
+        // Move the closure out; the owner will not touch `func` again
+        // (single-execution contract).
+        let func = ManuallyDrop::take(&mut *this.func.get());
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(e) => JobResult::Panicked(e),
+        };
+        *this.result.get() = result;
+        this.latch.set();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latch::SpinLatch;
+
+    #[test]
+    fn stack_job_inline_run() {
+        let job = StackJob::new(SpinLatch::new(), || 40 + 2);
+        // Never turned into a JobRef: run inline.
+        let r = unsafe { job.run_inline() };
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn stack_job_execute_then_take() {
+        let job = StackJob::new(SpinLatch::new(), || "done".to_string());
+        let jr = unsafe { job.as_job_ref(Place(1)) };
+        assert_eq!(jr.place(), Place(1));
+        unsafe { jr.execute() };
+        assert!(job.latch.probe());
+        assert_eq!(unsafe { job.into_result() }.ok(), Some("done".to_string()));
+    }
+
+    #[test]
+    fn stack_job_panic_captured() {
+        let job: StackJob<_, _, ()> = StackJob::new(SpinLatch::new(), || panic!("boom"));
+        let jr = unsafe { job.as_job_ref(Place::ANY) };
+        unsafe { jr.execute() }; // must not propagate here
+        assert!(job.latch.probe());
+        let payload = unsafe { job.into_result() }.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+    }
+
+    #[test]
+    fn job_ref_identity() {
+        let job = StackJob::new(SpinLatch::new(), || 0u8);
+        let jr = unsafe { job.as_job_ref(Place::ANY) };
+        assert_eq!(jr.id(), &job as *const _ as *const ());
+        unsafe { jr.execute() };
+        let _ = unsafe { job.into_result() };
+    }
+}

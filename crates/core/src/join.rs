@@ -1,0 +1,188 @@
+//! Fork-join primitives with locality hints.
+//!
+//! [`join`] is the Rust rendering of `cilk_spawn`/`cilk_sync`: `join(a, b)`
+//! runs `a` on the current worker while `b` sits on the deque tail,
+//! stealable by other workers — the same LIFO/FIFO discipline as Cilk's
+//! continuation stealing, with the roles of "continuation" and "child"
+//! swapped as Rust's stack model requires (see DESIGN.md §2). [`join_at`]
+//! attaches a **place hint** to the stealable half; under
+//! [`SchedulerMode::NumaWs`](crate::SchedulerMode::NumaWs) a thief that
+//! steals it on the wrong socket lazily pushes it toward its designated
+//! place.
+//!
+//! Following the paper's work-first engineering, the fast path (no steal)
+//! costs one deque push and one pop — no allocation, no locks, no latch
+//! waits, no timestamps.
+
+use crate::job::{JobResult, StackJob};
+use crate::latch::SpinLatch;
+use crate::registry::WorkerThread;
+use nws_topology::Place;
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Runs `a` and `b` potentially in parallel and returns both results.
+///
+/// `a` executes on the current worker; `b` may be stolen. Equivalent to
+/// [`join_at`] with [`Place::ANY`].
+///
+/// # Panics
+///
+/// Panics if called from outside a [`Pool`](crate::Pool) (enter one with
+/// [`Pool::install`](crate::Pool::install)). If `a` or `b` panics, the
+/// panic is resumed after both halves have finished; `a`'s panic takes
+/// precedence.
+///
+/// # Example
+///
+/// ```
+/// let pool = numa_ws::Pool::new(2).expect("pool");
+/// let (a, b) = pool.install(|| numa_ws::join(|| 6 * 7, || "hi"));
+/// assert_eq!((a, b), (42, "hi"));
+/// ```
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    join_at(a, b, Place::ANY)
+}
+
+/// Like [`join`], but hints that the stealable half `b` should run at
+/// `place` (the paper's `@p#` annotation; the inline half `a` implicitly
+/// stays at the current worker's place, matching the paper's rule that the
+/// first spawned child runs where its parent runs).
+///
+/// The hint is best-effort: load balancing always wins, and hints wrap
+/// modulo the pool's place count so code written for four places runs
+/// unchanged on two (processor obliviousness, §III-A).
+///
+/// # Panics
+///
+/// As [`join`].
+pub fn join_at<A, B, RA, RB>(a: A, b: B, place: Place) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let worker = WorkerThread::current().expect(
+        "numa_ws::join must be called from within a pool; enter one with Pool::install",
+    );
+    join_on_worker(worker, a, b, place)
+}
+
+fn join_on_worker<A, B, RA, RB>(worker: &WorkerThread, a: A, b: B, place: Place) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(SpinLatch::new(), b);
+    // SAFETY: job_b stays on this stack frame until resolved below, and is
+    // executed exactly once (inline xor stolen).
+    let ref_b = unsafe { job_b.as_job_ref(place) };
+    let id_b = ref_b.id();
+
+    if worker.push(ref_b).is_err() {
+        // Deque full: degrade to serial execution (b loses stealability,
+        // nothing else). Runs a first, preserving the spawn order.
+        let ra = a();
+        // SAFETY: the JobRef was rejected by push, so job_b is unexecuted.
+        let rb = unsafe { job_b.run_inline() };
+        return (ra, rb);
+    }
+
+    // Execute `a`; hold any panic until `b` is resolved, because job_b
+    // lives on our stack and a thief may be running it right now.
+    let status_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    let result_b: Result<RB, Box<dyn Any + Send>> = match worker.pop() {
+        Some(popped) => {
+            // Steals take the oldest entry first, so if our tail entry is
+            // still here it *must* be job_b (every nested join below `a`
+            // popped its own entry before returning).
+            debug_assert_eq!(popped.id(), id_b, "deque tail must be our own spawn");
+            // SAFETY: popped unexecuted JobRef; job_b is alive.
+            panic::catch_unwind(AssertUnwindSafe(|| unsafe { job_b.run_inline() }))
+        }
+        None => {
+            // Stolen: steal-while-waiting until the thief finishes.
+            worker.wait_until(&job_b.latch);
+            // SAFETY: latch set — the thief stored the result.
+            unsafe { job_b.into_result() }
+        }
+    };
+
+    match (status_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (Ok(_), Err(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+/// Four-way fork with per-branch place hints — the shape of the paper's
+/// Figure 4 mergesort top level (`@p0..@p3`).
+///
+/// Branch `a` runs inline (implicitly at the current place, like the
+/// first `cilk_spawn`); `b`, `c`, `d` are hinted at `places[1..4]`;
+/// `places[0]` hints the `(a, b)` subtree's stealable half and is normally
+/// the current place.
+///
+/// # Panics
+///
+/// As [`join`].
+pub fn join4_at<FA, FB, FC, FD, RA, RB, RC, RD>(
+    places: [Place; 4],
+    a: FA,
+    b: FB,
+    c: FC,
+    d: FD,
+) -> (RA, RB, RC, RD)
+where
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB + Send,
+    FC: FnOnce() -> RC + Send,
+    FD: FnOnce() -> RD + Send,
+    RA: Send,
+    RB: Send,
+    RC: Send,
+    RD: Send,
+{
+    let ((ra, rb), (rc, rd)) = join_at(
+        move || join_at(a, b, places[1]),
+        move || join_at(c, d, places[3]),
+        places[2],
+    );
+    (ra, rb, rc, rd)
+}
+
+/// Four-way fork without hints.
+///
+/// # Panics
+///
+/// As [`join`].
+pub fn join4<FA, FB, FC, FD, RA, RB, RC, RD>(a: FA, b: FB, c: FC, d: FD) -> (RA, RB, RC, RD)
+where
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB + Send,
+    FC: FnOnce() -> RC + Send,
+    FD: FnOnce() -> RD + Send,
+    RA: Send,
+    RB: Send,
+    RC: Send,
+    RD: Send,
+{
+    join4_at([Place::ANY; 4], a, b, c, d)
+}
+
+// Silence the unused-variant lint: JobResult::None is constructed in job.rs.
+const _: () = {
+    fn _assert_variants<R>(r: JobResult<R>) -> bool {
+        matches!(r, JobResult::None | JobResult::Ok(_) | JobResult::Panicked(_))
+    }
+};

@@ -1,0 +1,108 @@
+//! Completion latches used to join spawned work.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A one-shot latch: starts unset, becomes set exactly once.
+pub(crate) trait Latch {
+    /// Marks the latch as set (release semantics).
+    fn set(&self);
+}
+
+/// A latch probed by spinning workers that steal while they wait.
+#[derive(Debug, Default)]
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch { set: AtomicBool::new(false) }
+    }
+
+    /// Whether the latch has been set (acquire semantics, so data written
+    /// before `set` is visible after a `true` probe).
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// A blocking latch for external (non-worker) threads, e.g. the caller of
+/// [`Pool::install`](crate::Pool::install).
+#[derive(Debug, Default)]
+pub(crate) struct LockLatch {
+    mutex: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until the latch is set.
+    pub(crate) fn wait(&self) {
+        let mut guard = self.mutex.lock();
+        while !*guard {
+            self.cond.wait(&mut guard);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut guard = self.mutex.lock();
+        *guard = true;
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch_starts_unset() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_unblocks_waiter() {
+        let l = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            l2.set();
+        });
+        l.wait(); // must return
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn lock_latch_wait_after_set_returns_immediately() {
+        let l = LockLatch::new();
+        l.set();
+        l.wait();
+    }
+
+    #[test]
+    fn spin_latch_cross_thread_visibility() {
+        let l = Arc::new(SpinLatch::new());
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || l2.set());
+        t.join().unwrap();
+        assert!(l.probe());
+    }
+}

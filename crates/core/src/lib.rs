@@ -1,0 +1,82 @@
+//! # numa-ws — a NUMA-aware work-stealing task-parallel runtime
+//!
+//! A Rust implementation of the platform described in *"A NUMA-Aware
+//! Provably-Efficient Task-Parallel Platform Based on the Work-First
+//! Principle"* (Deters, Wu, Xu, Lee — IISWC 2018). The runtime extends
+//! classic work stealing with the paper's three NUMA mechanisms while
+//! keeping the work path as lean as Cilk's:
+//!
+//! - **Virtual places** (§III-A): workers are grouped per socket; spawns
+//!   carry best-effort place hints ([`join_at`], [`join4_at`]) that wrap
+//!   modulo the actual place count, keeping programs processor-oblivious.
+//! - **Locality-biased steals** (§III-B): victims are drawn from a
+//!   distance-weighted distribution instead of uniformly.
+//! - **Lazy work pushing** (§III-B): a stolen job hinted for another
+//!   socket is deposited into the single-entry mailbox of a random worker
+//!   there, retrying up to a constant pushing threshold; thieves flip a
+//!   coin between a victim's deque and its mailbox, preserving the classic
+//!   `T1/P + O(T∞)` bound and `O(P·T∞)` steals.
+//!
+//! Worker deques implement the Cilk-5 THE protocol
+//! ([`nws_deque`]), so the no-steal fast path performs no locking — the
+//! work-first principle that gives the paper its `T1/TS ≈ 1` work
+//! efficiency.
+//!
+//! ## What differs from the paper (and why)
+//!
+//! Cilk's continuation stealing requires compiler-managed cactus stacks;
+//! in native Rust the stealable deque entry is the *other branch* of a
+//! [`join`] and the continuation stays on the spawning worker's stack
+//! (as in Rayon). The sync-side migration paths this removes are exercised
+//! by the companion simulator crate (`nws-sim`), which runs the paper's
+//! Figure 2/Figure 5 pseudocode verbatim. See `DESIGN.md` §2.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use numa_ws::{join_at, Pool, SchedulerMode};
+//! use nws_topology::Place;
+//!
+//! // Four workers over two virtual places.
+//! let pool = Pool::builder()
+//!     .workers(4)
+//!     .places(2)
+//!     .mode(SchedulerMode::NumaWs)
+//!     .build()
+//!     .expect("pool");
+//!
+//! fn sum(xs: &[u64]) -> u64 {
+//!     if xs.len() <= 1024 {
+//!         return xs.iter().sum();
+//!     }
+//!     let (lo, hi) = xs.split_at(xs.len() / 2);
+//!     // Hint the stealable half toward place 1.
+//!     let (a, b) = join_at(|| sum(lo), || sum(hi), Place(1));
+//!     a + b
+//! }
+//!
+//! let xs: Vec<u64> = (0..100_000).collect();
+//! let total = pool.install(|| sum(&xs));
+//! assert_eq!(total, 100_000 * 99_999 / 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod job;
+mod join;
+mod latch;
+mod mailbox;
+mod par_for;
+mod pool;
+mod registry;
+mod stats;
+
+pub use config::{BuildPoolError, SchedulerMode};
+pub use join::{join, join4, join4_at, join_at};
+pub use par_for::{par_for, par_for_banded};
+pub use pool::{Pool, PoolBuilder};
+pub use stats::{PoolStats, WorkerStatsSnapshot};
+
+// Re-export the place type: it is part of this crate's public API surface.
+pub use nws_topology::Place;

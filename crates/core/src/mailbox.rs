@@ -1,0 +1,165 @@
+//! Single-entry mailboxes for lazy work pushing.
+//!
+//! Each worker owns one mailbox with **exactly one slot** (paper §III-B):
+//! a pusher deposits a ready job for the mailbox's owner without
+//! interrupting it; the owner (or a thief, via the coin-flip protocol)
+//! takes it later. The single entry is load-bearing for the §IV analysis —
+//! it keeps the top-heavy-deques argument intact — so the capacity is not
+//! configurable here (the simulator has the multi-entry ablation).
+
+use crate::job::JobRef;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A lock-free one-slot mailbox holding a [`JobRef`].
+#[derive(Debug)]
+pub(crate) struct Mailbox {
+    slot: AtomicPtr<JobRef>,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mailbox {
+    pub(crate) fn new() -> Self {
+        Mailbox { slot: AtomicPtr::new(ptr::null_mut()) }
+    }
+
+    /// Attempts to deposit `job`. Fails (returning the job back) if the
+    /// slot is occupied — the PUSHBACK protocol then retries elsewhere.
+    pub(crate) fn try_deposit(&self, job: JobRef) -> Result<(), JobRef> {
+        let boxed = Box::into_raw(Box::new(job));
+        match self.slot.compare_exchange(
+            ptr::null_mut(),
+            boxed,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Ok(()),
+            Err(_) => {
+                // SAFETY: we just created this box and nobody else saw it.
+                let job = *unsafe { Box::from_raw(boxed) };
+                Err(job)
+            }
+        }
+    }
+
+    /// Takes the job out of the slot, if any.
+    pub(crate) fn take(&self) -> Option<JobRef> {
+        let p = self.slot.swap(ptr::null_mut(), Ordering::AcqRel);
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: a non-null slot pointer is always a leaked Box that
+            // exactly one `take` can observe (swap is atomic).
+            Some(*unsafe { Box::from_raw(p) })
+        }
+    }
+
+    /// A racy fullness probe.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_full(&self) -> bool {
+        !self.slot.load(Ordering::Acquire).is_null()
+    }
+
+    /// The place hint of the currently deposited job, if any (racy; the
+    /// caller must still `take` to claim it).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn peek_place(&self) -> Option<nws_topology::Place> {
+        let p = self.slot.load(Ordering::Acquire);
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: deposited boxes are only freed by `take`/`drop`; a
+            // concurrent take could free `p` under us, so this is formally
+            // racy — but `JobRef` is Copy/POD and the mailbox only ever
+            // holds boxes we allocated, so the worst outcome of the race is
+            // reading a stale place and losing the subsequent `take` race,
+            // which the protocol tolerates (the thief just moves on).
+            Some(unsafe { (*p).place() })
+        }
+    }
+}
+
+impl Drop for Mailbox {
+    fn drop(&mut self) {
+        // Free a leftover deposit. The job itself is a stack pointer owned
+        // elsewhere; dropping the box does not drop the job.
+        let _ = self.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Job, JobRef};
+    use nws_topology::Place;
+    use std::sync::atomic::AtomicUsize;
+
+    struct CountJob(AtomicUsize);
+    impl Job for CountJob {
+        unsafe fn execute(this: *const ()) {
+            let this = &*(this as *const Self);
+            this.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn job_ref(j: &CountJob, place: Place) -> JobRef {
+        unsafe { JobRef::new(j, place) }
+    }
+
+    #[test]
+    fn deposit_then_take() {
+        let j = CountJob(AtomicUsize::new(0));
+        let m = Mailbox::new();
+        assert!(!m.is_full());
+        m.try_deposit(job_ref(&j, Place(2))).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.peek_place(), Some(Place(2)));
+        let got = m.take().unwrap();
+        assert_eq!(got.place(), Place(2));
+        assert!(m.take().is_none());
+    }
+
+    #[test]
+    fn second_deposit_rejected() {
+        let j = CountJob(AtomicUsize::new(0));
+        let m = Mailbox::new();
+        m.try_deposit(job_ref(&j, Place(0))).unwrap();
+        let back = m.try_deposit(job_ref(&j, Place(1))).unwrap_err();
+        assert_eq!(back.place(), Place(1), "rejected job handed back intact");
+    }
+
+    #[test]
+    fn take_empty_is_none() {
+        let m = Mailbox::new();
+        assert!(m.take().is_none());
+        assert_eq!(m.peek_place(), None);
+    }
+
+    #[test]
+    fn concurrent_takers_get_exactly_one() {
+        let j = CountJob(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let m = Mailbox::new();
+            m.try_deposit(job_ref(&j, Place(0))).unwrap();
+            let got = std::thread::scope(|s| {
+                let h1 = s.spawn(|| m.take().is_some());
+                let h2 = s.spawn(|| m.take().is_some());
+                (h1.join().unwrap(), h2.join().unwrap())
+            });
+            assert!(got.0 ^ got.1, "exactly one taker must win: {got:?}");
+        }
+    }
+
+    #[test]
+    fn drop_with_deposit_does_not_leak_or_crash() {
+        let j = CountJob(AtomicUsize::new(0));
+        let m = Mailbox::new();
+        m.try_deposit(job_ref(&j, Place(0))).unwrap();
+        drop(m); // miri-clean: frees the box, not the job
+    }
+}

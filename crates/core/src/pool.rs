@@ -1,0 +1,357 @@
+//! The worker pool: construction, installation of root computations, and
+//! teardown.
+
+use crate::config::{BuildPoolError, SchedulerMode};
+use crate::job::StackJob;
+use crate::latch::LockLatch;
+use crate::registry::{worker_main, Registry, WorkerThread};
+use crate::stats::PoolStats;
+use nws_topology::{Place, Placement, Topology, WorkerMap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A NUMA-WS worker pool.
+///
+/// Workers are created at construction with a fixed worker→place map
+/// (paper §III-A: affinity is decided at startup and never changes) and run
+/// until the pool is dropped. Application code enters through
+/// [`install`](Pool::install) and forks with [`join`](crate::join) /
+/// [`join_at`](crate::join_at).
+///
+/// # Example
+///
+/// ```
+/// use numa_ws::{Pool, SchedulerMode};
+///
+/// let pool = Pool::builder()
+///     .workers(4)
+///     .places(2)
+///     .mode(SchedulerMode::NumaWs)
+///     .build()
+///     .expect("valid config");
+/// let n = pool.install(|| {
+///     let (a, b) = numa_ws::join(|| 3, || 4);
+///     a + b
+/// });
+/// assert_eq!(n, 7);
+/// ```
+pub struct Pool {
+    registry: Arc<Registry>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.num_workers())
+            .field("places", &self.num_places())
+            .field("mode", &self.mode())
+            .finish()
+    }
+}
+
+/// Configures and builds a [`Pool`].
+#[derive(Debug, Clone)]
+pub struct PoolBuilder {
+    workers: usize,
+    places: usize,
+    mode: SchedulerMode,
+    topology: Option<Topology>,
+    push_threshold: u32,
+    seed: u64,
+    stats_enabled: bool,
+    deque_capacity: usize,
+}
+
+impl Default for PoolBuilder {
+    fn default() -> Self {
+        PoolBuilder {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            places: 1,
+            mode: SchedulerMode::NumaWs,
+            topology: None,
+            push_threshold: 4,
+            seed: 0x5EED_CAFE,
+            stats_enabled: true,
+            deque_capacity: 8192,
+        }
+    }
+}
+
+impl PoolBuilder {
+    /// Number of worker threads (`P`). Defaults to the host parallelism.
+    pub fn workers(&mut self, n: usize) -> &mut Self {
+        self.workers = n;
+        self
+    }
+
+    /// Number of virtual places (`S`, one per socket in use). Defaults
+    /// to 1.
+    pub fn places(&mut self, n: usize) -> &mut Self {
+        self.places = n;
+        self
+    }
+
+    /// Scheduling algorithm. Defaults to [`SchedulerMode::NumaWs`].
+    pub fn mode(&mut self, mode: SchedulerMode) -> &mut Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Explicit machine topology (e.g.
+    /// [`presets::paper_machine`](nws_topology::presets::paper_machine)).
+    /// If unset, a topology with `places` sockets and enough cores is
+    /// synthesized — on this container pinning is not enforced anyway (see
+    /// DESIGN.md §2), the topology only drives the steal bias.
+    pub fn topology(&mut self, topo: Topology) -> &mut Self {
+        self.topology = Some(topo);
+        self
+    }
+
+    /// The PUSHBACK retry threshold (paper: a configurable constant).
+    /// Defaults to 4.
+    pub fn push_threshold(&mut self, t: u32) -> &mut Self {
+        self.push_threshold = t;
+        self
+    }
+
+    /// RNG seed for victim selection and coin flips.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables/disables time-breakdown accounting (counters stay on).
+    /// Disabling removes the `Instant::now` calls from the steal path for
+    /// the most overhead-sensitive measurements. Defaults to on.
+    pub fn stats(&mut self, enabled: bool) -> &mut Self {
+        self.stats_enabled = enabled;
+        self
+    }
+
+    /// Per-worker deque capacity (slots). When a deque overflows, spawns
+    /// degrade gracefully to inline execution. Defaults to 8192.
+    pub fn deque_capacity(&mut self, cap: usize) -> &mut Self {
+        self.deque_capacity = cap;
+        self
+    }
+
+    /// Builds the pool and starts its workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildPoolError`] when the configuration is inconsistent
+    /// (zero workers/places, more places than sockets, more workers than
+    /// cores).
+    pub fn build(&self) -> Result<Pool, BuildPoolError> {
+        if self.workers == 0 {
+            return Err(BuildPoolError::InvalidConfig("workers must be >= 1".into()));
+        }
+        if self.places == 0 {
+            return Err(BuildPoolError::InvalidConfig("places must be >= 1".into()));
+        }
+        if self.places > self.workers {
+            return Err(BuildPoolError::InvalidConfig(format!(
+                "places ({}) cannot exceed workers ({})",
+                self.places, self.workers
+            )));
+        }
+        let topo = match &self.topology {
+            Some(t) => t.clone(),
+            None => Topology::builder()
+                .sockets(self.places)
+                .cores_per_socket(self.workers.div_ceil(self.places))
+                .build()?,
+        };
+        let map = Placement::Spread { sockets: self.places }.assign(&topo, self.workers)?;
+        let (registry, owners) = Registry::new(
+            topo,
+            map,
+            self.mode,
+            self.push_threshold,
+            self.stats_enabled,
+            self.deque_capacity,
+            self.seed,
+        );
+        let mut handles = Vec::with_capacity(self.workers);
+        for (index, deque) in owners.into_iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            let handle = std::thread::Builder::new()
+                .name(format!("nws-worker-{index}"))
+                .spawn(move || worker_main(registry, index, deque))
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+        registry.wait_until_started();
+        Ok(Pool { registry, handles })
+    }
+}
+
+impl Pool {
+    /// Starts configuring a pool.
+    pub fn builder() -> PoolBuilder {
+        PoolBuilder::default()
+    }
+
+    /// A NUMA-WS pool with `workers` workers on a single place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildPoolError`] for `workers == 0`.
+    pub fn new(workers: usize) -> Result<Pool, BuildPoolError> {
+        Pool::builder().workers(workers).build()
+    }
+
+    /// Runs `f` inside the pool and returns its result. The root
+    /// computation always starts on worker 0 (the paper pins the root at
+    /// the first core of the first socket).
+    ///
+    /// Calling `install` from inside the same pool runs `f` directly.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some(worker) = WorkerThread::current() {
+            if Arc::ptr_eq(&worker.registry, &self.registry) {
+                return f();
+            }
+        }
+        let job = StackJob::new(LockLatch::new(), f);
+        // SAFETY: we block on the latch below, so the job outlives its
+        // execution and is executed exactly once (by worker 0).
+        let job_ref = unsafe { job.as_job_ref(Place::ANY) };
+        self.registry.inject(job_ref);
+        job.latch.wait();
+        // SAFETY: latch set implies the result was stored.
+        match unsafe { job.into_result() } {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.registry.map.num_workers()
+    }
+
+    /// Number of virtual places.
+    pub fn num_places(&self) -> usize {
+        self.registry.map.num_places()
+    }
+
+    /// The scheduling mode.
+    pub fn mode(&self) -> SchedulerMode {
+        self.registry.mode
+    }
+
+    /// The machine topology the pool schedules against.
+    pub fn topology(&self) -> &Topology {
+        &self.registry.topo
+    }
+
+    /// The worker→place map.
+    pub fn worker_map(&self) -> &WorkerMap {
+        &self.registry.map
+    }
+
+    /// A snapshot of per-worker statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.registry.stats()
+    }
+
+    /// Clears all statistics (typically between a warmup and a measured
+    /// run).
+    pub fn reset_stats(&self) {
+        self.registry.reset_stats()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.registry.begin_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_drop() {
+        let pool = Pool::new(2).unwrap();
+        assert_eq!(pool.num_workers(), 2);
+        assert_eq!(pool.num_places(), 1);
+        drop(pool);
+    }
+
+    #[test]
+    fn install_runs_closure() {
+        let pool = Pool::new(2).unwrap();
+        let r = pool.install(|| 1 + 2);
+        assert_eq!(r, 3);
+    }
+
+    #[test]
+    fn install_multiple_times() {
+        let pool = Pool::new(3).unwrap();
+        for i in 0..20 {
+            assert_eq!(pool.install(move || i * 2), i * 2);
+        }
+    }
+
+    #[test]
+    fn install_propagates_panic() {
+        let pool = Pool::new(2).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("root panic"));
+        }));
+        assert!(r.is_err());
+        // The pool must remain usable afterwards.
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(Pool::builder().workers(0).build().is_err());
+        assert!(Pool::builder().workers(2).places(0).build().is_err());
+        assert!(Pool::builder().workers(2).places(3).build().is_err());
+    }
+
+    #[test]
+    fn places_map_spreads_workers() {
+        let pool = Pool::builder().workers(8).places(4).build().unwrap();
+        assert_eq!(pool.num_places(), 4);
+        let map = pool.worker_map();
+        for p in 0..4 {
+            assert_eq!(map.workers_of_place(nws_topology::Place(p)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn paper_topology_accepted() {
+        let pool = Pool::builder()
+            .workers(8)
+            .places(4)
+            .topology(nws_topology::presets::paper_machine())
+            .build()
+            .unwrap();
+        assert_eq!(pool.topology().num_sockets(), 4);
+    }
+
+    #[test]
+    fn single_worker_pool_executes() {
+        let pool = Pool::new(1).unwrap();
+        assert_eq!(pool.install(|| "ok"), "ok");
+    }
+
+    #[test]
+    fn classic_mode_pool() {
+        let pool = Pool::builder().workers(4).mode(SchedulerMode::Classic).build().unwrap();
+        assert_eq!(pool.mode(), SchedulerMode::Classic);
+        assert_eq!(pool.install(|| 5), 5);
+    }
+}

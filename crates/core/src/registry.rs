@@ -1,0 +1,386 @@
+//! The pool registry and worker threads: deques, mailboxes, the biased
+//! steal protocol with coin flip, and lazy work pushing.
+
+use crate::config::SchedulerMode;
+use crate::job::JobRef;
+use crate::latch::SpinLatch;
+use crate::mailbox::Mailbox;
+use crate::stats::{bump, Category, Clock, PoolStats, WorkerStats};
+use nws_deque::{the_deque, Full, TheStealer, TheWorker};
+use nws_topology::{Place, StealDistribution, Topology, WorkerMap};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Outcome of a PUSHBACK episode.
+pub(crate) enum PushOutcome {
+    /// The job landed in a mailbox on its designated place.
+    Delivered,
+    /// The threshold was exhausted; the pusher keeps the job.
+    Kept(JobRef),
+}
+
+/// Shared state of a pool.
+pub(crate) struct Registry {
+    pub(crate) topo: Topology,
+    pub(crate) map: WorkerMap,
+    pub(crate) mode: SchedulerMode,
+    pub(crate) push_threshold: u32,
+    pub(crate) stats_enabled: bool,
+    stealers: Vec<TheStealer<JobRef>>,
+    mailboxes: Vec<Mailbox>,
+    pub(crate) worker_stats: Vec<WorkerStats>,
+    dists: Vec<Option<StealDistribution>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    injector_len: AtomicUsize,
+    shutdown: AtomicBool,
+    started: AtomicUsize,
+    seed: u64,
+}
+
+impl Registry {
+    /// Creates the registry and hands back the deque owner halves for the
+    /// worker threads to adopt.
+    pub(crate) fn new(
+        topo: Topology,
+        map: WorkerMap,
+        mode: SchedulerMode,
+        push_threshold: u32,
+        stats_enabled: bool,
+        deque_capacity: usize,
+        seed: u64,
+    ) -> (Arc<Registry>, Vec<TheWorker<JobRef>>) {
+        let p = map.num_workers();
+        let mut owners = Vec::with_capacity(p);
+        let mut stealers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (w, s) = the_deque::<JobRef>(deque_capacity);
+            owners.push(w);
+            stealers.push(s);
+        }
+        let dists = (0..p)
+            .map(|w| {
+                if p < 2 {
+                    None
+                } else if mode == SchedulerMode::NumaWs {
+                    Some(StealDistribution::biased(&topo, &map, w))
+                } else {
+                    Some(StealDistribution::uniform(p, w))
+                }
+            })
+            .collect();
+        let registry = Arc::new(Registry {
+            stealers,
+            mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
+            worker_stats: (0..p).map(|_| WorkerStats::default()).collect(),
+            dists,
+            injector: Mutex::new(VecDeque::new()),
+            injector_len: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            started: AtomicUsize::new(0),
+            seed,
+            topo,
+            map,
+            mode,
+            push_threshold,
+            stats_enabled,
+        });
+        (registry, owners)
+    }
+
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.lock().push_back(job);
+        self.injector_len.fetch_add(1, Ordering::Release);
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        if self.injector_len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.injector.lock();
+        let job = q.pop_front();
+        if job.is_some() {
+            self.injector_len.fetch_sub(1, Ordering::Release);
+        }
+        job
+    }
+
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Blocks until all workers have entered their main loops (so install
+    /// never races thread startup).
+    pub(crate) fn wait_until_started(&self) {
+        while self.started.load(Ordering::Acquire) < self.map.num_workers() {
+            std::thread::yield_now();
+        }
+    }
+
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats { workers: self.worker_stats.iter().map(|s| s.snapshot()).collect() }
+    }
+
+    pub(crate) fn reset_stats(&self) {
+        for s in &self.worker_stats {
+            s.reset();
+        }
+    }
+}
+
+thread_local! {
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Thread-local state of one worker.
+pub(crate) struct WorkerThread {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) index: usize,
+    deque: TheWorker<JobRef>,
+    rng: std::cell::RefCell<SmallRng>,
+    clock: Clock,
+}
+
+impl WorkerThread {
+    /// The worker owning the current OS thread, if any.
+    #[inline]
+    pub(crate) fn current() -> Option<&'static WorkerThread> {
+        let p = WORKER.with(|w| w.get());
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: the pointer targets the worker_main stack frame, which
+            // outlives everything the worker executes, and is cleared before
+            // worker_main returns.
+            Some(unsafe { &*p })
+        }
+    }
+
+    fn stats(&self) -> &WorkerStats {
+        &self.registry.worker_stats[self.index]
+    }
+
+    #[inline]
+    pub(crate) fn switch_to(&self, cat: Category) {
+        self.clock.switch_to(self.stats(), cat);
+    }
+
+    fn my_place(&self) -> Place {
+        self.registry.map.place_of(self.index)
+    }
+
+    /// Is `job` hinted for a place other than ours? (`ANY` is never
+    /// foreign; hints beyond the place count wrap, keeping user code
+    /// oblivious to how many places this run actually has.)
+    fn is_foreign(&self, job: &JobRef) -> bool {
+        match job.place().index() {
+            None => false,
+            Some(p) => p % self.registry.map.num_places() != self.my_place().0,
+        }
+    }
+
+    #[inline]
+    fn next_random(&self) -> u64 {
+        self.rng.borrow_mut().next_u64()
+    }
+
+    /// Pushes a job at a spawn point (work path).
+    ///
+    /// # Errors
+    ///
+    /// Hands the job back if the deque is at capacity; the caller then runs
+    /// it inline (losing only stealability, never correctness).
+    #[inline]
+    pub(crate) fn push(&self, job: JobRef) -> Result<(), Full<JobRef>> {
+        bump!(self.stats(), spawns);
+        self.deque.push(job)
+    }
+
+    /// Pops the tail of the own deque (work path).
+    #[inline]
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.deque.pop()
+    }
+
+    /// Executes a job with work-time accounting.
+    ///
+    /// # Safety
+    ///
+    /// `job` must be live and not yet executed.
+    pub(crate) unsafe fn execute(&self, job: JobRef) {
+        self.switch_to(Category::Work);
+        job.execute();
+        self.switch_to(Category::Idle);
+    }
+
+    /// Steals-while-waiting until `latch` is set (the join slow path).
+    pub(crate) fn wait_until(&self, latch: &SpinLatch) {
+        self.switch_to(Category::Idle);
+        let mut spins = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work(false) {
+                // SAFETY: jobs found through the protocol are live and
+                // unexecuted.
+                unsafe { self.execute(job) };
+                spins = 0;
+            } else {
+                backoff(&mut spins);
+            }
+        }
+        self.switch_to(Category::Work);
+    }
+
+    /// One trip through the scheduling loop: own mailbox, then (for worker
+    /// 0 in the main loop) the injector, then one steal attempt.
+    fn find_work(&self, take_injected: bool) -> Option<JobRef> {
+        // Fig 5 line 25-26: check own mailbox first; anything there is
+        // earmarked for our place.
+        if self.registry.mode == SchedulerMode::NumaWs {
+            if let Some(job) = self.registry.mailboxes[self.index].take() {
+                bump!(self.stats(), mailbox_takes);
+                return Some(job);
+            }
+        }
+        if take_injected && self.index == 0 {
+            if let Some(job) = self.registry.pop_injected() {
+                return Some(job);
+            }
+        }
+        self.steal_once()
+    }
+
+    /// One steal attempt following BIASEDSTEALWITHPUSH (Fig 5 l.28) under
+    /// NUMA-WS, or RANDOMSTEAL (Fig 2 l.24) under Classic.
+    fn steal_once(&self) -> Option<JobRef> {
+        let dist = self.registry.dists[self.index].as_ref()?;
+        let victim = dist.sample(self.next_random());
+        bump!(self.stats(), steal_attempts);
+
+        if self.registry.mode == SchedulerMode::NumaWs {
+            // Coin flip between the victim's deque and its mailbox.
+            let tails = self.next_random() & 1 == 0;
+            if tails {
+                if let Some(job) = self.registry.mailboxes[victim].take() {
+                    bump!(self.stats(), mailbox_takes);
+                    if !self.is_foreign(&job) {
+                        // Outcome 2: earmarked for our socket — take it.
+                        return Some(job);
+                    }
+                    // Outcome 3: earmarked elsewhere — relay it onward; if
+                    // the episode exhausts the threshold, run it ourselves.
+                    return match self.pushback(job) {
+                        PushOutcome::Delivered => None,
+                        PushOutcome::Kept(job) => Some(job),
+                    };
+                }
+                // Outcome 1: mailbox empty — fall back to the deque.
+            }
+        }
+
+        let job = self.registry.stealers[victim].steal()?;
+        bump!(self.stats(), steals);
+        bump!(self.registry.worker_stats[victim], stolen_from);
+        if self.registry.map.socket_of(victim) != self.registry.map.socket_of(self.index) {
+            bump!(self.stats(), remote_steals);
+        }
+        if self.registry.mode == SchedulerMode::NumaWs && self.is_foreign(&job) {
+            return match self.pushback(job) {
+                PushOutcome::Delivered => None,
+                PushOutcome::Kept(job) => Some(job),
+            };
+        }
+        Some(job)
+    }
+
+    /// One PUSHBACK episode (paper §III-B): deposit `job` into the mailbox
+    /// of a random worker on its designated place, retrying up to the
+    /// pushing threshold.
+    pub(crate) fn pushback(&self, job: JobRef) -> PushOutcome {
+        let place_idx = match job.place().index() {
+            Some(p) => p % self.registry.map.num_places(),
+            None => return PushOutcome::Kept(job),
+        };
+        let candidates: Vec<usize> = self
+            .registry
+            .map
+            .workers_of_place(Place(place_idx))
+            .iter()
+            .copied()
+            .filter(|&w| w != self.index)
+            .collect();
+        if candidates.is_empty() {
+            return PushOutcome::Kept(job);
+        }
+        self.switch_to(Category::Sched);
+        let mut job = job;
+        let mut attempts = 0u32;
+        let outcome = loop {
+            attempts += 1;
+            bump!(self.stats(), push_attempts);
+            let r = candidates[(self.next_random() % candidates.len() as u64) as usize];
+            match self.registry.mailboxes[r].try_deposit(job) {
+                Ok(()) => {
+                    bump!(self.stats(), push_deliveries);
+                    break PushOutcome::Delivered;
+                }
+                Err(back) => job = back,
+            }
+            if attempts > self.registry.push_threshold {
+                bump!(self.stats(), push_failures);
+                break PushOutcome::Kept(job);
+            }
+        };
+        self.switch_to(Category::Idle);
+        outcome
+    }
+}
+
+/// Exponential backoff for idle workers: spin, then yield, then nap.
+fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 10 {
+        std::hint::spin_loop();
+    } else if *spins < 50 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+}
+
+/// Body of each worker OS thread.
+pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorker<JobRef>) {
+    let worker = WorkerThread {
+        rng: std::cell::RefCell::new(SmallRng::seed_from_u64(
+            registry.seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        )),
+        clock: Clock::new(registry.stats_enabled, Category::Idle),
+        registry,
+        index,
+        deque,
+    };
+    WORKER.with(|w| w.set(&worker as *const WorkerThread));
+    worker.registry.started.fetch_add(1, Ordering::Release);
+
+    let mut spins = 0u32;
+    loop {
+        if let Some(job) = worker.find_work(true) {
+            // SAFETY: protocol-found jobs are live and unexecuted.
+            unsafe { worker.execute(job) };
+            spins = 0;
+        } else if worker.registry.is_shutting_down() {
+            break;
+        } else {
+            backoff(&mut spins);
+        }
+    }
+    worker.clock.flush(worker.stats());
+    WORKER.with(|w| w.set(std::ptr::null()));
+}

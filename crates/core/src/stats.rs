@@ -1,0 +1,254 @@
+//! Per-worker execution statistics: time breakdown and steal-path counters.
+//!
+//! The breakdown follows the paper's §II taxonomy — **work** (useful
+//! computation, including spawn overhead), **scheduling** (managing actual
+//! parallelism: PUSHBACK episodes and mailbox traffic), and **idle**
+//! (failed steal attempts and backoff). Workers account time by switching a
+//! per-thread category clock at protocol transitions, so time spent inside
+//! nested jobs is never double-counted.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+/// What a worker is spending its time on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Category {
+    /// Executing application code (incl. deque pushes/pops — work path).
+    Work,
+    /// NUMA-WS bookkeeping: pushback episodes, mailbox handling.
+    Sched,
+    /// Looking for work: steal attempts, spinning, waiting.
+    Idle,
+}
+
+/// Shared atomic counters for one worker.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerStats {
+    pub work_ns: AtomicU64,
+    pub sched_ns: AtomicU64,
+    pub idle_ns: AtomicU64,
+    pub spawns: AtomicU64,
+    pub steal_attempts: AtomicU64,
+    pub steals: AtomicU64,
+    pub remote_steals: AtomicU64,
+    pub stolen_from: AtomicU64,
+    pub mailbox_takes: AtomicU64,
+    pub push_attempts: AtomicU64,
+    pub push_deliveries: AtomicU64,
+    pub push_failures: AtomicU64,
+}
+
+macro_rules! bump {
+    ($stats:expr, $field:ident) => {
+        $stats.$field.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    };
+}
+pub(crate) use bump;
+
+impl WorkerStats {
+    pub(crate) fn add_time(&self, cat: Category, ns: u64) {
+        let slot = match cat {
+            Category::Work => &self.work_ns,
+            Category::Sched => &self.sched_ns,
+            Category::Idle => &self.idle_ns,
+        };
+        slot.fetch_add(ns, Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> WorkerStatsSnapshot {
+        WorkerStatsSnapshot {
+            work_ns: self.work_ns.load(Relaxed),
+            sched_ns: self.sched_ns.load(Relaxed),
+            idle_ns: self.idle_ns.load(Relaxed),
+            spawns: self.spawns.load(Relaxed),
+            steal_attempts: self.steal_attempts.load(Relaxed),
+            steals: self.steals.load(Relaxed),
+            remote_steals: self.remote_steals.load(Relaxed),
+            stolen_from: self.stolen_from.load(Relaxed),
+            mailbox_takes: self.mailbox_takes.load(Relaxed),
+            push_attempts: self.push_attempts.load(Relaxed),
+            push_deliveries: self.push_deliveries.load(Relaxed),
+            push_failures: self.push_failures.load(Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.work_ns.store(0, Relaxed);
+        self.sched_ns.store(0, Relaxed);
+        self.idle_ns.store(0, Relaxed);
+        self.spawns.store(0, Relaxed);
+        self.steal_attempts.store(0, Relaxed);
+        self.steals.store(0, Relaxed);
+        self.remote_steals.store(0, Relaxed);
+        self.stolen_from.store(0, Relaxed);
+        self.mailbox_takes.store(0, Relaxed);
+        self.push_attempts.store(0, Relaxed);
+        self.push_deliveries.store(0, Relaxed);
+        self.push_failures.store(0, Relaxed);
+    }
+}
+
+/// A point-in-time copy of one worker's statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStatsSnapshot {
+    /// Nanoseconds spent doing useful work (incl. spawn overhead).
+    pub work_ns: u64,
+    /// Nanoseconds spent on NUMA-WS scheduling bookkeeping.
+    pub sched_ns: u64,
+    /// Nanoseconds spent idle (failed steals, spinning).
+    pub idle_ns: u64,
+    /// Jobs pushed onto the local deque (`cilk_spawn` count).
+    pub spawns: u64,
+    /// Steal attempts made by this worker.
+    pub steal_attempts: u64,
+    /// Successful deque steals by this worker.
+    pub steals: u64,
+    /// Successful steals from victims on another socket.
+    pub remote_steals: u64,
+    /// Times this worker's own deque was stolen from.
+    pub stolen_from: u64,
+    /// Jobs taken from mailboxes (own or a victim's).
+    pub mailbox_takes: u64,
+    /// PUSHBACK deposit attempts made.
+    pub push_attempts: u64,
+    /// PUSHBACK deposits that landed in a mailbox.
+    pub push_deliveries: u64,
+    /// PUSHBACK episodes abandoned at the threshold.
+    pub push_failures: u64,
+}
+
+/// Statistics for a whole pool.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// One snapshot per worker, by index.
+    pub workers: Vec<WorkerStatsSnapshot>,
+}
+
+impl PoolStats {
+    /// Total work nanoseconds across workers (the paper's `W_P`).
+    pub fn total_work_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.work_ns).sum()
+    }
+
+    /// Total scheduling nanoseconds across workers (`S_P`).
+    pub fn total_sched_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.sched_ns).sum()
+    }
+
+    /// Total idle nanoseconds across workers (`I_P`).
+    pub fn total_idle_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.idle_ns).sum()
+    }
+
+    /// Total successful steals.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total steals that crossed sockets.
+    pub fn total_remote_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.remote_steals).sum()
+    }
+
+    /// Total mailbox deliveries.
+    pub fn total_push_deliveries(&self) -> u64 {
+        self.workers.iter().map(|w| w.push_deliveries).sum()
+    }
+
+    /// Total spawns.
+    pub fn total_spawns(&self) -> u64 {
+        self.workers.iter().map(|w| w.spawns).sum()
+    }
+}
+
+/// Per-thread category clock; flushes elapsed time into the shared atomics
+/// whenever the category changes.
+#[derive(Debug)]
+pub(crate) struct Clock {
+    enabled: bool,
+    last: std::cell::Cell<Instant>,
+    cat: std::cell::Cell<Category>,
+}
+
+impl Clock {
+    pub(crate) fn new(enabled: bool, cat: Category) -> Self {
+        Clock { enabled, last: std::cell::Cell::new(Instant::now()), cat: std::cell::Cell::new(cat) }
+    }
+
+    /// Switches category, attributing elapsed time to the previous one.
+    #[inline]
+    pub(crate) fn switch_to(&self, stats: &WorkerStats, cat: Category) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let prev = self.cat.replace(cat);
+        let elapsed = now.duration_since(self.last.replace(now)).as_nanos() as u64;
+        stats.add_time(prev, elapsed);
+    }
+
+    /// Flushes the current interval without changing category.
+    pub(crate) fn flush(&self, stats: &WorkerStats) {
+        let cat = self.cat.get();
+        self.switch_to(stats, cat);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = WorkerStats::default();
+        s.spawns.store(3, Relaxed);
+        s.steals.store(2, Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.spawns, 3);
+        assert_eq!(snap.steals, 2);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = WorkerStats::default();
+        s.work_ns.store(10, Relaxed);
+        s.push_failures.store(4, Relaxed);
+        s.reset();
+        assert_eq!(s.snapshot(), WorkerStatsSnapshot::default());
+    }
+
+    #[test]
+    fn pool_stats_totals() {
+        let stats = PoolStats {
+            workers: vec![
+                WorkerStatsSnapshot { work_ns: 10, sched_ns: 1, idle_ns: 2, steals: 1, ..Default::default() },
+                WorkerStatsSnapshot { work_ns: 20, sched_ns: 3, idle_ns: 4, steals: 2, ..Default::default() },
+            ],
+        };
+        assert_eq!(stats.total_work_ns(), 30);
+        assert_eq!(stats.total_sched_ns(), 4);
+        assert_eq!(stats.total_idle_ns(), 6);
+        assert_eq!(stats.total_steals(), 3);
+    }
+
+    #[test]
+    fn clock_attributes_time_to_previous_category() {
+        let stats = WorkerStats::default();
+        let clock = Clock::new(true, Category::Idle);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        clock.switch_to(&stats, Category::Work);
+        assert!(stats.idle_ns.load(Relaxed) >= 4_000_000, "idle time must be attributed");
+        assert_eq!(stats.work_ns.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn disabled_clock_is_free() {
+        let stats = WorkerStats::default();
+        let clock = Clock::new(false, Category::Work);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        clock.switch_to(&stats, Category::Idle);
+        clock.flush(&stats);
+        assert_eq!(stats.work_ns.load(Relaxed), 0);
+        assert_eq!(stats.idle_ns.load(Relaxed), 0);
+    }
+}

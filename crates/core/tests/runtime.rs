@@ -1,0 +1,263 @@
+//! End-to-end tests of the threaded runtime: correctness under real
+//! parallelism, hint routing, panic propagation, and statistics.
+
+use numa_ws::{join, join4_at, join_at, Place, Pool, SchedulerMode};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+#[test]
+fn fib_parallel_matches_serial() {
+    fn fib_serial(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib_serial(n - 1) + fib_serial(n - 2)
+        }
+    }
+    let pool = Pool::new(8).unwrap();
+    assert_eq!(pool.install(|| fib(20)), fib_serial(20));
+}
+
+#[test]
+fn recursive_sum_all_modes_all_shapes() {
+    fn sum(xs: &[u64]) -> u64 {
+        if xs.len() <= 64 {
+            return xs.iter().sum();
+        }
+        let (lo, hi) = xs.split_at(xs.len() / 2);
+        let (a, b) = join_at(|| sum(lo), || sum(hi), Place(1));
+        a + b
+    }
+    let xs: Vec<u64> = (0..100_000).collect();
+    let expect: u64 = xs.iter().sum();
+    for mode in [SchedulerMode::Classic, SchedulerMode::NumaWs] {
+        for (workers, places) in [(1, 1), (2, 1), (4, 2), (8, 4)] {
+            let pool = Pool::builder().workers(workers).places(places).mode(mode).build().unwrap();
+            assert_eq!(pool.install(|| sum(&xs)), expect, "mode={mode} P={workers} S={places}");
+        }
+    }
+}
+
+#[test]
+fn join4_at_runs_all_branches() {
+    let pool = Pool::builder().workers(8).places(4).build().unwrap();
+    let places = [Place(0), Place(1), Place(2), Place(3)];
+    let (a, b, c, d) = pool.install(|| join4_at(places, || 1, || 2, || 3, || 4));
+    assert_eq!((a, b, c, d), (1, 2, 3, 4));
+}
+
+#[test]
+fn steals_happen_under_load() {
+    let pool = Pool::builder().workers(8).places(2).build().unwrap();
+    pool.install(|| fib(22));
+    let stats = pool.stats();
+    assert!(stats.total_steals() > 0, "8 workers on fib(22) must steal: {stats:?}");
+    assert!(stats.total_spawns() > 10_000);
+}
+
+#[test]
+fn numa_mode_generates_mailbox_traffic_for_hinted_work() {
+    // Spawn place-hinted leaf work repeatedly; NUMA-WS should deliver some
+    // pushes into mailboxes of the designated place.
+    fn hinted_tree(depth: u32, place: usize) -> u64 {
+        if depth == 0 {
+            // enough work per leaf to keep the window for stealing open
+            let mut acc = 0u64;
+            for x in 0..40_000u64 {
+                acc = acc.wrapping_add(x.wrapping_mul(2654435761)).rotate_left(7);
+            }
+            return acc | 1;
+        }
+        let (a, b) = join_at(
+            || hinted_tree(depth - 1, place),
+            || hinted_tree(depth - 1, (place + 1) % 4),
+            Place((place + 1) % 4),
+        );
+        a.wrapping_add(b)
+    }
+    let pool = Pool::builder().workers(8).places(4).build().unwrap();
+    pool.install(|| hinted_tree(10, 0));
+    let stats = pool.stats();
+    assert!(
+        stats.total_push_deliveries() > 0,
+        "hinted spawns crossing places should trigger lazy pushes: {stats:?}"
+    );
+    let takes: u64 = stats.workers.iter().map(|w| w.mailbox_takes).sum();
+    assert!(takes >= stats.total_push_deliveries(), "delivered jobs must be consumed");
+}
+
+#[test]
+fn classic_mode_never_touches_mailboxes() {
+    fn tree(depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = join_at(|| tree(depth - 1), || tree(depth - 1), Place(3));
+        a + b
+    }
+    let pool = Pool::builder().workers(8).places(4).mode(SchedulerMode::Classic).build().unwrap();
+    pool.install(|| tree(12));
+    let stats = pool.stats();
+    let takes: u64 = stats.workers.iter().map(|w| w.mailbox_takes).sum();
+    let pushes: u64 = stats.workers.iter().map(|w| w.push_attempts).sum();
+    assert_eq!(takes, 0);
+    assert_eq!(pushes, 0);
+}
+
+#[test]
+fn panic_in_stealable_branch_propagates() {
+    let pool = Pool::new(4).unwrap();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| {
+            let (_, _) = join(|| 1, || -> i32 { panic!("branch b") });
+        })
+    }));
+    assert!(r.is_err());
+    assert_eq!(pool.install(|| 9), 9, "pool survives a panicked task");
+}
+
+#[test]
+fn panic_in_inline_branch_wins() {
+    let pool = Pool::new(4).unwrap();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| {
+            let (_, _) = join(|| -> i32 { panic!("branch a") }, || 2);
+        })
+    }));
+    let payload = r.unwrap_err();
+    assert_eq!(payload.downcast_ref::<&str>(), Some(&"branch a"));
+}
+
+#[test]
+fn deep_recursion_survives_deque_overflow() {
+    // Deque capacity 64: a 2^14-leaf tree overflows it constantly; spawns
+    // must degrade to inline execution without losing results.
+    fn count(depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = join(|| count(depth - 1), || count(depth - 1));
+        a + b
+    }
+    let pool = Pool::builder().workers(4).deque_capacity(64).build().unwrap();
+    assert_eq!(pool.install(|| count(14)), 1 << 14);
+}
+
+#[test]
+fn work_time_dominates_for_compute_bound_job() {
+    let pool = Pool::builder().workers(4).build().unwrap();
+    pool.reset_stats();
+    pool.install(|| fib(24));
+    let stats = pool.stats();
+    let work = stats.total_work_ns();
+    let sched = stats.total_sched_ns();
+    assert!(work > 0);
+    assert!(
+        sched < work / 2,
+        "scheduling time {sched}ns should be far below work {work}ns"
+    );
+}
+
+#[test]
+fn stats_reset_clears_counters() {
+    let pool = Pool::new(2).unwrap();
+    pool.install(|| fib(15));
+    assert!(pool.stats().total_spawns() > 0);
+    pool.reset_stats();
+    assert_eq!(pool.stats().total_spawns(), 0);
+}
+
+#[test]
+fn install_from_worker_runs_inline() {
+    let pool = std::sync::Arc::new(Pool::new(2).unwrap());
+    let p2 = std::sync::Arc::clone(&pool);
+    let r = pool.install(move || p2.install(|| 11));
+    assert_eq!(r, 11);
+}
+
+#[test]
+fn concurrent_installs_from_many_threads() {
+    let pool = std::sync::Arc::new(Pool::new(4).unwrap());
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..6 {
+            let pool = std::sync::Arc::clone(&pool);
+            let done = &done;
+            s.spawn(move || {
+                let r = pool.install(|| fib(15 + (t % 3)));
+                assert!(r > 0);
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(done.load(Ordering::SeqCst), 6);
+}
+
+#[test]
+fn hints_wrap_modulo_places() {
+    // Code written for 4 places must run on a 2-place pool unchanged.
+    let pool = Pool::builder().workers(4).places(2).build().unwrap();
+    let (a, b, c, d) =
+        pool.install(|| join4_at([Place(0), Place(1), Place(2), Place(3)], || 1, || 2, || 3, || 4));
+    assert_eq!((a, b, c, d), (1, 2, 3, 4));
+}
+
+#[test]
+fn remote_steals_counted_on_multi_place_pool() {
+    let pool = Pool::builder().workers(8).places(4).mode(SchedulerMode::Classic).build().unwrap();
+    pool.install(|| fib(24));
+    let stats = pool.stats();
+    assert!(
+        stats.total_remote_steals() > 0,
+        "uniform stealing across 4 places must cross sockets: {stats:?}"
+    );
+}
+
+#[test]
+fn biased_mode_prefers_local_steals() {
+    // With 4 places and plenty of stealing, NUMA-WS should show a lower
+    // remote-steal share than Classic. This is statistical but heavily
+    // biased (weights 1 : 0.48 : 0.32), so the margin is wide.
+    fn run(mode: SchedulerMode) -> (u64, u64) {
+        let pool = Pool::builder()
+            .workers(8)
+            .places(4)
+            .mode(mode)
+            .topology(nws_topology::presets::paper_machine())
+            .seed(1234)
+            .build()
+            .unwrap();
+        pool.install(|| fib(26));
+        let s = pool.stats();
+        (s.total_remote_steals(), s.total_steals())
+    }
+    let (classic_remote, classic_total) = run(SchedulerMode::Classic);
+    let (numa_remote, numa_total) = run(SchedulerMode::NumaWs);
+    let classic_share = classic_remote as f64 / classic_total.max(1) as f64;
+    let numa_share = numa_remote as f64 / numa_total.max(1) as f64;
+    assert!(
+        numa_share < classic_share,
+        "NUMA-WS remote share {numa_share:.3} should beat classic {classic_share:.3} \
+         (remote/total: numa {numa_remote}/{numa_total}, classic {classic_remote}/{classic_total})"
+    );
+}
+
+#[test]
+fn join_outside_pool_panics_with_guidance() {
+    let r = std::panic::catch_unwind(|| join(|| 1, || 2));
+    let payload = r.unwrap_err();
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("Pool::install"), "panic message should guide the user: {msg}");
+}

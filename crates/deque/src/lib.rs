@@ -1,0 +1,36 @@
+//! Work-stealing deques for the NUMA-WS runtime.
+//!
+//! The centerpiece is [`the_deque`], an implementation of the Cilk-5 **THE
+//! protocol** (Frigo, Leiserson, Randall — PLDI 1998), which the paper keeps
+//! unchanged in NUMA-WS (§II): the worker that owns the deque pushes and
+//! pops at the *tail* without taking any lock on the common path, while
+//! thieves steal from the *head* under a per-deque lock. Owner and thieves
+//! only synchronize when they might be going after the same (last) item,
+//! which is exactly the work-first principle — overhead lands on the steal
+//! path, not the work path.
+//!
+//! [`MutexDeque`] is a deliberately naive fully-locked deque used by the
+//! benchmark suite to quantify what the THE protocol buys on the work path.
+//!
+//! # Example
+//!
+//! ```
+//! use nws_deque::the_deque;
+//!
+//! let (worker, stealer) = the_deque::<u32>(64);
+//! worker.push(1).unwrap();
+//! worker.push(2).unwrap();
+//! // The owner works LIFO at the tail...
+//! assert_eq!(worker.pop(), Some(2));
+//! // ...while thieves take the oldest item at the head.
+//! assert_eq!(stealer.steal(), Some(1));
+//! assert_eq!(worker.pop(), None);
+//! ```
+
+#![warn(missing_docs)]
+
+mod mutex_deque;
+mod the;
+
+pub use mutex_deque::MutexDeque;
+pub use the::{the_deque, Full, TheStealer, TheWorker};

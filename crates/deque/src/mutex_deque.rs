@@ -1,0 +1,126 @@
+//! A fully-locked deque used as the "what if we ignored the work-first
+//! principle" baseline in benchmarks.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// A deque guarded by a single mutex for *every* operation, including the
+/// owner's push and pop.
+///
+/// This is what a straightforward implementation looks like when scheduling
+/// overhead is allowed to land on the work term: each `push`/`pop` on the
+/// hot path pays a lock acquisition even when no thief is anywhere near.
+/// The `deque_ops` benchmark compares it against
+/// [`the_deque`](crate::the_deque) to quantify the work-first advantage the
+/// paper's §II describes.
+pub struct MutexDeque<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for MutexDeque<T> {
+    fn clone(&self) -> Self {
+        MutexDeque { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Default for MutexDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for MutexDeque<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutexDeque").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> MutexDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        MutexDeque { inner: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Pushes at the tail (owner end).
+    pub fn push(&self, v: T) {
+        self.inner.lock().push_back(v);
+    }
+
+    /// Pops the newest item from the tail (owner end).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().pop_back()
+    }
+
+    /// Steals the oldest item from the head (thief end).
+    pub fn steal(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_tail_fifo_head() {
+        let d = MutexDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.steal(), Some(2));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let d = MutexDeque::new();
+        let d2 = d.clone();
+        d.push(7);
+        assert_eq!(d2.pop(), Some(7));
+    }
+
+    #[test]
+    fn concurrent_hammering_preserves_items() {
+        let d = MutexDeque::new();
+        const N: usize = 10_000;
+        let taken = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let producer = d.clone();
+            scope.spawn(move || {
+                for i in 0..N {
+                    producer.push(i);
+                }
+            });
+            for _ in 0..4 {
+                let thief = d.clone();
+                let taken = &taken;
+                scope.spawn(move || loop {
+                    if thief.steal().is_some() {
+                        taken.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    if taken.load(std::sync::atomic::Ordering::Relaxed) == N {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                });
+            }
+        });
+        assert_eq!(taken.load(std::sync::atomic::Ordering::Relaxed), N);
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,439 @@
+//! The Cilk-5 THE protocol deque.
+//!
+//! Protocol summary (simplified H/T form, as in the Cilk-5 paper §5 and
+//! reused unchanged by NUMA-WS):
+//!
+//! - the owner pushes at the tail (`T += 1`) and pops by decrementing `T`
+//!   *first* and only then reading `H` — no lock unless `H > T` signals a
+//!   possible conflict on the last item;
+//! - a thief, under the per-deque lock, increments `H` *first* and only then
+//!   reads `T`, backing off (`H -= 1`) if it overshot.
+//!
+//! Because each side publishes its claim before reading the other's index,
+//! sequential consistency guarantees at most one of them can believe it owns
+//! the last item; the lock arbitrates the remaining doubt. The owner
+//! therefore pays two uncontended atomic accesses per pop on the fast path —
+//! the work-first principle in miniature.
+
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicIsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Error returned by [`TheWorker::push`] when the deque is at capacity,
+/// handing the rejected value back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Full<T>(pub T);
+
+impl<T> fmt::Display for Full<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deque is full")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for Full<T> {}
+
+struct Inner<T> {
+    /// Index of the oldest item; thieves advance it under `lock`.
+    head: AtomicIsize,
+    /// Index one past the newest item; only the owner writes it.
+    tail: AtomicIsize,
+    /// Thief-side lock (the "E" role of the original THE protocol's
+    /// exception handling is not needed here: we never abort computations).
+    lock: Mutex<()>,
+    /// Ring buffer; slot `i & mask` holds logical index `i`.
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+}
+
+// SAFETY: slots are transferred between threads with the protocol above;
+// items are Send, and the structure hands out each item exactly once.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    /// Reads and takes ownership of the item at logical index `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold exclusive claim over index `i` per the protocol.
+    unsafe fn take(&self, i: isize) -> T {
+        let slot = &self.buf[(i as usize) & self.mask];
+        (*slot.get()).assume_init_read()
+    }
+
+    /// Writes `v` into logical index `i`.
+    ///
+    /// # Safety
+    ///
+    /// Index `i` must be vacant and owned by the caller.
+    unsafe fn put(&self, i: isize, v: T) {
+        let slot = &self.buf[(i as usize) & self.mask];
+        (*slot.get()).write(v);
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point; release remaining items.
+        let h = *self.head.get_mut();
+        let t = *self.tail.get_mut();
+        for i in h..t {
+            // SAFETY: indices h..t hold initialized items nobody else can
+            // reach any more.
+            unsafe {
+                drop(self.take(i));
+            }
+        }
+    }
+}
+
+/// Owner half of a THE deque: pushes and pops at the tail. `!Sync` by
+/// construction (one owner per deque), but may be sent to the worker thread.
+pub struct TheWorker<T> {
+    inner: Arc<Inner<T>>,
+    /// Owner half is single-threaded; forbid sharing references across
+    /// threads while still allowing the half itself to be moved.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+/// Thief half of a THE deque: steals the oldest item under the deque lock.
+/// Cloneable and shareable across any number of thieves.
+pub struct TheStealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for TheStealer<T> {
+    fn clone(&self) -> Self {
+        TheStealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> fmt::Debug for TheWorker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TheWorker").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> fmt::Debug for TheStealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TheStealer").field("len", &self.len()).finish()
+    }
+}
+
+/// Creates a THE-protocol deque with room for `capacity` items (rounded up
+/// to a power of two), returning the owner and thief halves.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+pub fn the_deque<T>(capacity: usize) -> (TheWorker<T>, TheStealer<T>) {
+    assert!(capacity > 0, "deque capacity must be positive");
+    let cap = capacity.next_power_of_two();
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let inner = Arc::new(Inner {
+        head: AtomicIsize::new(0),
+        tail: AtomicIsize::new(0),
+        lock: Mutex::new(()),
+        buf,
+        mask: cap - 1,
+    });
+    (
+        TheWorker { inner: Arc::clone(&inner), _not_sync: PhantomData },
+        TheStealer { inner },
+    )
+}
+
+impl<T> TheWorker<T> {
+    /// Pushes `v` at the tail (the owner's end). Lock-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Full`] with the value if the deque is at capacity; the
+    /// caller typically executes the work inline instead.
+    pub fn push(&self, v: T) -> Result<(), Full<T>> {
+        let inner = &*self.inner;
+        let t = inner.tail.load(SeqCst);
+        let h = inner.head.load(SeqCst);
+        // A thief that is about to back off holds head one *above* its real
+        // value for an instant, so an unlocked read can make a full deque
+        // look like it has one free slot. The unlocked fast path is
+        // therefore only trusted with strictly more than one slot of slack;
+        // on the nearly-full edge we re-read head under the lock, where it
+        // is stable, and decide exactly.
+        if (t - h) as usize >= inner.mask {
+            let _guard = inner.lock.lock();
+            let h = inner.head.load(SeqCst);
+            if (t - h) as usize > inner.mask {
+                return Err(Full(v));
+            }
+            // SAFETY: lock held, so t - h is exact and index t is vacant.
+            unsafe { inner.put(t, v) };
+            inner.tail.store(t + 1, SeqCst);
+            return Ok(());
+        }
+        // SAFETY: real occupancy is at most (t - h) + 1 <= mask, so index t
+        // is vacant; only the owner writes the tail.
+        unsafe { inner.put(t, v) };
+        inner.tail.store(t + 1, SeqCst);
+        Ok(())
+    }
+
+    /// Pops the newest item from the tail. Lock-free unless the deque might
+    /// be down to its last item, in which case the thief lock arbitrates.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        // Publish our claim (T -= 1) before reading H — the THE handshake.
+        let t = inner.tail.load(SeqCst) - 1;
+        inner.tail.store(t, SeqCst);
+        let h = inner.head.load(SeqCst);
+        if h <= t {
+            // Fast path: more than one item, or a thief has backed off.
+            // SAFETY: h <= t means index t is still ours; thieves only take
+            // indices < t after seeing our updated tail.
+            return Some(unsafe { inner.take(t) });
+        }
+        // Possible conflict on the last item; arbitrate under the lock.
+        let _guard = inner.lock.lock();
+        let h = inner.head.load(SeqCst);
+        if h <= t {
+            // The thief backed off (or never was): the item is ours.
+            // SAFETY: lock held, h <= t.
+            return Some(unsafe { inner.take(t) });
+        }
+        // Deque empty (the last item was stolen, or there was none).
+        // Restore the canonical empty state tail == head.
+        inner.tail.store(h, SeqCst);
+        None
+    }
+
+    /// Number of items currently in the deque (a snapshot; concurrent
+    /// thieves may change it immediately).
+    pub fn len(&self) -> usize {
+        len(&self.inner)
+    }
+
+    /// Whether the deque currently looks empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A thief handle to this deque.
+    pub fn stealer(&self) -> TheStealer<T> {
+        TheStealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> TheStealer<T> {
+    /// Steals the oldest item from the head, taking the deque lock.
+    ///
+    /// Returns `None` if the deque is empty or the owner won the race for
+    /// the last item.
+    pub fn steal(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let _guard = inner.lock.lock();
+        // Publish our claim (H += 1) before reading T — the THE handshake.
+        let h = inner.head.load(SeqCst);
+        inner.head.store(h + 1, SeqCst);
+        let t = inner.tail.load(SeqCst);
+        if h + 1 > t {
+            // Overshot: empty, or racing the owner for the last item (the
+            // owner already decremented T). Back off; the owner wins.
+            inner.head.store(h, SeqCst);
+            return None;
+        }
+        // SAFETY: h < t: index h is committed to us; the owner pops only
+        // indices >= the tail it last read, which is > h.
+        Some(unsafe { inner.take(h) })
+    }
+
+    /// Number of items currently in the deque (a racy snapshot).
+    pub fn len(&self) -> usize {
+        len(&self.inner)
+    }
+
+    /// Whether the deque currently looks empty. The paper's scheduler uses
+    /// this to skip locking empty deques during steal attempts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn len<T>(inner: &Inner<T>) -> usize {
+    let t = inner.tail.load(SeqCst);
+    let h = inner.head.load(SeqCst);
+    (t - h).max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_at_tail_fifo_at_head() {
+        let (w, s) = the_deque::<i32>(8);
+        for i in 0..4 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Some(0));
+        assert_eq!(s.steal(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), None);
+    }
+
+    #[test]
+    fn empty_pop_and_steal() {
+        let (w, s) = the_deque::<u8>(4);
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), None);
+        assert!(w.is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (w, _s) = the_deque::<usize>(5); // rounds to 8
+        for i in 0..8 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(w.push(99), Err(Full(99)));
+        assert_eq!(w.len(), 8);
+    }
+
+    #[test]
+    fn full_recovers_after_drain() {
+        let (w, s) = the_deque::<usize>(2);
+        w.push(0).unwrap();
+        w.push(1).unwrap();
+        assert!(w.push(2).is_err());
+        assert_eq!(s.steal(), Some(0));
+        w.push(2).unwrap();
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+    }
+
+    #[test]
+    fn interleaved_sequence_matches_model() {
+        let (w, s) = the_deque::<u32>(512);
+        let mut model = std::collections::VecDeque::new();
+        for round in 0..1000u32 {
+            match round % 5 {
+                0 | 1 | 2 => {
+                    w.push(round).unwrap();
+                    model.push_back(round);
+                }
+                3 => assert_eq!(w.pop(), model.pop_back()),
+                _ => assert_eq!(s.steal(), model.pop_front()),
+            }
+            assert_eq!(w.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn drop_releases_remaining_items() {
+        let item = Arc::new(());
+        {
+            let (w, _s) = the_deque::<Arc<()>>(8);
+            for _ in 0..5 {
+                w.push(Arc::clone(&item)).unwrap();
+            }
+            let _ = w.pop();
+        }
+        assert_eq!(Arc::strong_count(&item), 1, "dropped deque must release items");
+    }
+
+    #[test]
+    fn stress_no_loss_no_duplication() {
+        const ITEMS: u64 = 100_000;
+        const THIEVES: usize = 6;
+        let (w, s) = the_deque::<u64>(1 << 14);
+        let stolen: Vec<std::sync::Mutex<Vec<u64>>> =
+            (0..THIEVES).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let mut popped = Vec::new();
+        std::thread::scope(|scope| {
+            for tid in 0..THIEVES {
+                let s = s.clone();
+                let stolen = &stolen;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while !done.load(SeqCst) {
+                        if let Some(v) = s.steal() {
+                            local.push(v);
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    // Drain whatever is left.
+                    while let Some(v) = s.steal() {
+                        local.push(v);
+                    }
+                    *stolen[tid].lock().unwrap() = local;
+                });
+            }
+            let mut next = 0u64;
+            while next < ITEMS {
+                match w.push(next) {
+                    Ok(()) => next += 1,
+                    Err(Full(_)) => {
+                        if let Some(v) = w.pop() {
+                            popped.push(v);
+                        }
+                    }
+                }
+                // Interleave owner pops to exercise the conflict path.
+                if next % 7 == 0 {
+                    if let Some(v) = w.pop() {
+                        popped.push(v);
+                    }
+                }
+            }
+            done.store(true, SeqCst);
+        });
+        let mut all: Vec<u64> = popped;
+        for m in &stolen {
+            all.extend(m.lock().unwrap().iter().copied());
+        }
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..ITEMS).collect();
+        assert_eq!(all.len() as u64, ITEMS, "lost or duplicated items");
+        assert_eq!(all, expected, "every item exactly once");
+    }
+
+    #[test]
+    fn last_item_race_owner_or_thief_wins_once() {
+        // Repeatedly race one owner pop against one thief steal over a
+        // single item; exactly one of them must get it.
+        for _ in 0..2000 {
+            let (w, s) = the_deque::<u8>(4);
+            w.push(42).unwrap();
+            let barrier = std::sync::Barrier::new(2);
+            let (a, b) = std::thread::scope(|scope| {
+                let thief = scope.spawn(|| {
+                    barrier.wait();
+                    s.steal()
+                });
+                barrier.wait();
+                let mine = w.pop();
+                (mine, thief.join().unwrap())
+            });
+            match (a, b) {
+                (Some(42), None) | (None, Some(42)) => {}
+                other => panic!("both or neither got the item: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = the_deque::<u8>(0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: a THE deque driven sequentially must behave exactly like
+//! a `VecDeque` with push_back / pop_back (owner) / pop_front (thief).
+
+use nws_deque::the_deque;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u32>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        2 => Just(Op::Steal),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn sequential_model_equivalence(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let (w, s) = the_deque::<u32>(512);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    prop_assert!(w.push(v).is_ok());
+                    model.push_back(v);
+                }
+                Op::Pop => prop_assert_eq!(w.pop(), model.pop_back()),
+                Op::Steal => prop_assert_eq!(s.steal(), model.pop_front()),
+            }
+            prop_assert_eq!(w.len(), model.len());
+            prop_assert_eq!(s.is_empty(), model.is_empty());
+        }
+    }
+
+    #[test]
+    fn push_full_hands_value_back(extra in 0u32..100) {
+        let (w, _s) = the_deque::<u32>(4);
+        for i in 0..4 {
+            prop_assert!(w.push(i).is_ok());
+        }
+        let err = w.push(extra).unwrap_err();
+        prop_assert_eq!(err.0, extra);
+    }
+
+    #[test]
+    fn steal_order_is_push_order(values in proptest::collection::vec(any::<u32>(), 1..64)) {
+        let (w, s) = the_deque::<u32>(64);
+        for &v in &values {
+            w.push(v).unwrap();
+        }
+        let mut stolen = Vec::new();
+        while let Some(v) = s.steal() {
+            stolen.push(v);
+        }
+        prop_assert_eq!(stolen, values);
+    }
+}

@@ -1,0 +1,186 @@
+//! Plain row-major matrices — the baseline layout the paper transforms away
+//! from.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix: element `(r, c)` lives at `r * cols + c`.
+///
+/// This is the layout whose base-case working sets scatter across pages in
+/// divide-and-conquer algorithms (§III-C); [`BlockedZ`](crate::BlockedZ)
+/// is the co-location-friendly alternative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Matrix<T> {
+    /// Creates a `rows × cols` matrix filled with `T::default()`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+}
+
+impl<T> Matrix<T> {
+    /// Creates a matrix by evaluating `f(row, col)` for every cell.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match dimensions");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrowed element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> &T {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The underlying row-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow of one full row.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+impl<T> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        self.get(r, c)
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        self.get_mut(r, c)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let m = Matrix::from_fn(2, 3, |r, c| r * 10 + c);
+        assert_eq!(m.as_slice(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(m[(1, 2)], 12);
+    }
+
+    #[test]
+    fn zeros_and_mutation() {
+        let mut m = Matrix::<i32>::zeros(2, 2);
+        m[(0, 1)] = 5;
+        assert_eq!(m.as_slice(), &[0, 5, 0, 0]);
+    }
+
+    #[test]
+    fn row_slice() {
+        let m = Matrix::from_fn(3, 4, |r, c| r * 4 + c);
+        assert_eq!(m.row(1), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(m.clone().into_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match")]
+    fn from_vec_size_checked() {
+        Matrix::from_vec(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let m = Matrix::<u8>::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn display_rows_on_lines() {
+        let m = Matrix::from_fn(2, 2, |r, c| r * 2 + c);
+        assert_eq!(m.to_string(), "0 1\n2 3\n");
+    }
+}

@@ -1,0 +1,113 @@
+//! Z-Morton (bit-interleaved) index arithmetic.
+//!
+//! The Z-Morton index of cell `(row, col)` interleaves the bits of the two
+//! coordinates (`row` bits in the odd positions, `col` bits in the even
+//! positions), which lays a 2^k × 2^k array along a recursive Z curve
+//! (paper Figure 6a). Interleaving is done with the classic
+//! parallel-prefix "spread" trick in O(1) rather than bit-by-bit.
+
+/// Spreads the low 32 bits of `x` into the even bit positions of a `u64`.
+///
+/// `0babcd` becomes `0b0a0b0c0d`.
+#[inline]
+pub fn spread(x: u32) -> u64 {
+    let mut v = x as u64;
+    v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+/// Inverse of [`spread`]: collects the even bit positions of `v` into the
+/// low 32 bits.
+#[inline]
+pub fn compact(v: u64) -> u32 {
+    let mut v = v & 0x5555_5555_5555_5555;
+    v = (v | (v >> 1)) & 0x3333_3333_3333_3333;
+    v = (v | (v >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v >> 4)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v >> 8)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v >> 16)) & 0x0000_0000_FFFF_FFFF;
+    v as u32
+}
+
+/// The Z-Morton index of `(row, col)`: row bits land in odd positions, col
+/// bits in even positions.
+#[inline]
+pub fn encode(row: u32, col: u32) -> u64 {
+    (spread(row) << 1) | spread(col)
+}
+
+/// Inverse of [`encode`]: recovers `(row, col)` from a Z-Morton index.
+#[inline]
+pub fn decode(z: u64) -> (u32, u32) {
+    (compact(z >> 1), compact(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_6a_top_left_corner() {
+        // Paper Figure 6a shows the 8x8 Z-Morton order; spot-check the
+        // first two rows: 0 1 4 5 16 17 20 21 / 2 3 6 7 18 19 22 23.
+        let row0: Vec<u64> = (0..8).map(|c| encode(0, c)).collect();
+        assert_eq!(row0, vec![0, 1, 4, 5, 16, 17, 20, 21]);
+        let row1: Vec<u64> = (0..8).map(|c| encode(1, c)).collect();
+        assert_eq!(row1, vec![2, 3, 6, 7, 18, 19, 22, 23]);
+        let row4: Vec<u64> = (0..8).map(|c| encode(4, c)).collect();
+        assert_eq!(row4, vec![32, 33, 36, 37, 48, 49, 52, 53]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_exhaustive_small() {
+        for r in 0..64u32 {
+            for c in 0..64u32 {
+                assert_eq!(decode(encode(r, c)), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_bijective_on_square() {
+        let n = 32u32;
+        let mut seen = vec![false; (n * n) as usize];
+        for r in 0..n {
+            for c in 0..n {
+                let z = encode(r, c) as usize;
+                assert!(z < seen.len(), "z index out of square");
+                assert!(!seen[z], "duplicate z index {z}");
+                seen[z] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "z indices must cover the square");
+    }
+
+    #[test]
+    fn spread_compact_inverse_on_edge_values() {
+        for x in [0u32, 1, 2, 0xFFFF, 0xFFFF_FFFF, 0x8000_0000, 0xAAAA_5555] {
+            assert_eq!(compact(spread(x)), x);
+        }
+    }
+
+    #[test]
+    fn quadrant_structure() {
+        // In a 2^k square, the Z index's top two bits select the quadrant:
+        // NW < NE < SW < SE in Z order.
+        let n = 16u32;
+        let q = |r: u32, c: u32| encode(r, c) / ((n as u64 * n as u64) / 4);
+        assert_eq!(q(0, 0), 0); // NW
+        assert_eq!(q(0, n - 1), 1); // NE
+        assert_eq!(q(n - 1, 0), 2); // SW
+        assert_eq!(q(n - 1, n - 1), 3); // SE
+    }
+
+    #[test]
+    fn max_coordinate_roundtrip() {
+        let (r, c) = (u32::MAX, u32::MAX);
+        assert_eq!(decode(encode(r, c)), (r, c));
+    }
+}

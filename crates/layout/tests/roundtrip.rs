@@ -1,0 +1,78 @@
+//! Property tests for the layout transformations.
+
+use nws_layout::{zmorton, BlockedZ, Matrix};
+use proptest::prelude::*;
+
+/// Strategy yielding (n, block) shapes valid for BlockedZ: block in 1..=8,
+/// blocks-per-side a power of two in 1..=16.
+fn shape() -> impl Strategy<Value = (usize, usize)> {
+    (0u32..4, 1usize..=8).prop_map(|(k, block)| {
+        let bps = 1usize << k;
+        (bps * block, block)
+    })
+}
+
+proptest! {
+    #[test]
+    fn zmorton_roundtrip(r in any::<u32>(), c in any::<u32>()) {
+        prop_assert_eq!(zmorton::decode(zmorton::encode(r, c)), (r, c));
+    }
+
+    #[test]
+    fn zmorton_monotone_in_quadrant(r in 0u32..1000, c in 0u32..1000) {
+        // Moving right or down within the same 2x2 cell never decreases z.
+        let z = zmorton::encode(r, c);
+        prop_assert!(zmorton::encode(r | 1, c | 1) >= z);
+    }
+
+    #[test]
+    fn blocked_roundtrip((n, block) in shape(), seed in any::<u64>()) {
+        let mut x = seed;
+        let m = Matrix::from_fn(n, n, |_, _| {
+            // splitmix64 for reproducible pseudo-random content
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z ^ (z >> 31)
+        });
+        let z = BlockedZ::from_matrix(&m, block);
+        prop_assert_eq!(z.to_matrix(), m);
+    }
+
+    #[test]
+    fn blocked_is_permutation((n, block) in shape()) {
+        // Transforming the identity-labelled matrix must reshuffle without
+        // loss or duplication.
+        let m = Matrix::from_fn(n, n, |r, c| (r * n + c) as u64);
+        let z = BlockedZ::from_matrix(&m, block);
+        let mut values: Vec<u64> = z.as_slice().to_vec();
+        values.sort_unstable();
+        let expect: Vec<u64> = (0..(n * n) as u64).collect();
+        prop_assert_eq!(values, expect);
+    }
+
+    #[test]
+    fn blocked_get_agrees_with_matrix((n, block) in shape()) {
+        let m = Matrix::from_fn(n, n, |r, c| r * 31 + c * 7);
+        let z = BlockedZ::from_matrix(&m, block);
+        for r in 0..n {
+            for c in 0..n {
+                prop_assert_eq!(z.get(r, c), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn block_slices_tile_the_buffer((n, block) in shape()) {
+        let m = Matrix::from_fn(n, n, |r, c| r * n + c);
+        let z = BlockedZ::from_matrix(&m, block);
+        let bps = z.blocks_per_side();
+        let mut covered = 0usize;
+        for br in 0..bps {
+            for bc in 0..bps {
+                covered += z.block(br, bc).len();
+            }
+        }
+        prop_assert_eq!(covered, n * n);
+    }
+}

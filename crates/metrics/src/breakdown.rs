@@ -1,0 +1,79 @@
+//! Work/scheduling/idle breakdowns and the ratios the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Clock rate used to echo simulated cycles as seconds (the paper's
+/// machine runs 2.2 GHz Xeon E5-4620 cores).
+pub const CYCLES_PER_SECOND: f64 = 2.2e9;
+
+/// A total-processing-time breakdown in the paper's §II taxonomy, in
+/// cycles (or any consistent unit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Useful work, including spawn overhead (`W_P`).
+    pub work: f64,
+    /// Scheduling bookkeeping (`S_P`).
+    pub sched: f64,
+    /// Idle time (`I_P`).
+    pub idle: f64,
+}
+
+impl Breakdown {
+    /// Builds a breakdown from raw totals.
+    pub fn new(work: f64, sched: f64, idle: f64) -> Self {
+        Breakdown { work, sched, idle }
+    }
+
+    /// Total processing time across workers.
+    pub fn total(&self) -> f64 {
+        self.work + self.sched + self.idle
+    }
+
+    /// The breakdown normalized by a reference time (the paper's Figure 3
+    /// normalizes by `TS`).
+    pub fn normalized(&self, reference: f64) -> Breakdown {
+        assert!(reference > 0.0, "normalization reference must be positive");
+        Breakdown {
+            work: self.work / reference,
+            sched: self.sched / reference,
+            idle: self.idle / reference,
+        }
+    }
+
+    /// Work inflation relative to a one-core work time (`W_P / T1`).
+    pub fn inflation(&self, t1: f64) -> f64 {
+        assert!(t1 > 0.0, "T1 must be positive");
+        self.work / t1
+    }
+}
+
+/// Renders simulated cycles as seconds on the paper's 2.2 GHz machine.
+pub fn cycles_to_seconds(cycles: u64) -> f64 {
+    cycles as f64 / CYCLES_PER_SECOND
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_normalization() {
+        let b = Breakdown::new(80.0, 15.0, 5.0);
+        assert_eq!(b.total(), 100.0);
+        let n = b.normalized(50.0);
+        assert_eq!(n.work, 1.6);
+        assert_eq!(n.total(), 2.0);
+    }
+
+    #[test]
+    fn inflation_ratio() {
+        let b = Breakdown::new(240.0, 0.0, 0.0);
+        assert_eq!(b.inflation(120.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_reference_rejected() {
+        Breakdown::default().normalized(0.0);
+    }
+}

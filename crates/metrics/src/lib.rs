@@ -1,0 +1,10 @@
+//! Measurement plumbing shared by the experiment harness: time breakdowns,
+//! derived ratios, and paper-style table rendering.
+
+#![warn(missing_docs)]
+
+mod breakdown;
+mod table;
+
+pub use breakdown::{cycles_to_seconds, Breakdown, CYCLES_PER_SECOND};
+pub use table::{cell_with_ratio, Table};

@@ -1,0 +1,123 @@
+//! Fixed-width text tables matching the look of the paper's Figures 7/8.
+
+use std::fmt;
+
+/// A simple right-aligned text table (first column left-aligned).
+///
+/// # Example
+///
+/// ```
+/// use nws_metrics::Table;
+///
+/// let mut t = Table::new(vec!["benchmark", "TS", "T1"]);
+/// t.row(vec!["heat".into(), "83.48".into(), "83.05 (0.99x)".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("benchmark"));
+/// assert!(s.contains("83.48"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "{:<w$}", cell, w = widths[0])?;
+                } else {
+                    write!(f, "  {:>w$}", cell, w = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats `value` with a parenthesized ratio, the paper's
+/// `29.39 (13.11×)` cell style.
+pub fn cell_with_ratio(value: f64, ratio: f64) -> String {
+    format!("{value:.2} ({ratio:.2}x)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+        // All lines equal width for the value column alignment.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn ratio_cell_format() {
+        assert_eq!(cell_with_ratio(29.394, 13.111), "29.39 (13.11x)");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulation configuration: scheduler selection, costs, and ablation knobs.
+
+use crate::memory::{CacheConfig, ContentionModel, LatencyModel};
+use nws_topology::Placement;
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling algorithm to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// The classic work-stealing scheduler of Cilk Plus (paper Figure 2):
+    /// uniform victim selection, no mailboxes, no work pushing. This is the
+    /// baseline platform of the evaluation.
+    Classic,
+    /// The NUMA-WS scheduler (paper Figure 5): locality-biased steals,
+    /// single-entry mailboxes, lazy work pushing with a constant threshold,
+    /// and the coin-flip steal protocol.
+    NumaWs,
+}
+
+/// How a NUMA-WS thief chooses between a victim's deque and its mailbox.
+/// `Fair` is the paper's protocol; the others exist for the ablation that
+/// §IV argues motivates the coin flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoinFlip {
+    /// Flip a fair coin (the paper's protocol, required for the bounds).
+    Fair,
+    /// Always inspect the mailbox first — breaks the §IV argument that the
+    /// critical node at a deque head is found with probability ≥ 1/(2cP).
+    MailboxFirst,
+    /// Never inspect mailboxes when stealing (mailboxes drain only by their
+    /// owners).
+    DequeOnly,
+}
+
+/// Scheduler operation costs in cycles. Work-path costs (spawn push, pop,
+/// trivial sync) are small constants; steal-path costs are larger and, for
+/// inter-socket operations, scale with the numactl distance — the model's
+/// rendering of "incur overhead on the thief, not the worker".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedCosts {
+    /// Deque push at a spawn (work path).
+    pub spawn_push: u64,
+    /// Deque pop at a spawned child's return (work path).
+    pub pop: u64,
+    /// A sync that was never stolen (work path, no-op check).
+    pub sync_trivial: u64,
+    /// Promoting a stolen frame to a full frame (steal path).
+    pub promote: u64,
+    /// A steal attempt's base cost (lock + probe), plus per-distance cost.
+    pub steal_base: u64,
+    /// Extra cycles per unit of numactl distance for a steal probe.
+    pub steal_per_distance: u64,
+    /// CHECKSYNC on a stolen frame (non-trivial sync).
+    pub sync_nontrivial: u64,
+    /// Suspending a frame at an unsuccessful sync.
+    pub suspend: u64,
+    /// CHECKPARENT when returning to a stolen parent.
+    pub check_parent: u64,
+    /// One mailbox push attempt (PUSHBACK step), plus per-distance cost.
+    pub push_attempt: u64,
+    /// Taking a frame out of a mailbox (own or a victim's).
+    pub mailbox_take: u64,
+}
+
+impl Default for SchedCosts {
+    fn default() -> Self {
+        SchedCosts {
+            spawn_push: 5,
+            pop: 5,
+            sync_trivial: 1,
+            promote: 120,
+            steal_base: 40,
+            steal_per_distance: 3,
+            sync_nontrivial: 60,
+            suspend: 80,
+            check_parent: 40,
+            push_attempt: 60,
+            mailbox_take: 30,
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Scheduler algorithm.
+    pub scheduler: SchedulerKind,
+    /// Number of workers (P).
+    pub workers: usize,
+    /// How workers map onto sockets.
+    pub placement: Placement,
+    /// RNG seed (runs are deterministic given a seed).
+    pub seed: u64,
+    /// PUSHBACK retry threshold (the paper's constant "pushing threshold").
+    pub push_threshold: u32,
+    /// Mailbox capacity; the paper requires exactly 1 (ablation knob).
+    pub mailbox_capacity: usize,
+    /// Thief mailbox/deque choice protocol (ablation knob).
+    pub coin_flip: CoinFlip,
+    /// Locality-biased victim selection (ablation knob; `false` gives
+    /// uniform selection even under `NumaWs`).
+    pub biased_steals: bool,
+    /// Memory latencies.
+    pub latency: LatencyModel,
+    /// Cache capacities.
+    pub caches: CacheConfig,
+    /// Interconnect bandwidth contention model.
+    pub contention: ContentionModel,
+    /// Scheduler operation costs.
+    pub costs: SchedCosts,
+}
+
+impl SimConfig {
+    /// Classic work stealing on `workers` packed workers — the Cilk Plus
+    /// baseline.
+    pub fn classic(workers: usize) -> Self {
+        SimConfig {
+            scheduler: SchedulerKind::Classic,
+            workers,
+            placement: Placement::Packed,
+            seed: 0x5EED,
+            push_threshold: 4,
+            mailbox_capacity: 0,
+            coin_flip: CoinFlip::DequeOnly,
+            biased_steals: false,
+            latency: LatencyModel::default(),
+            caches: CacheConfig::default(),
+            contention: ContentionModel::default(),
+            costs: SchedCosts::default(),
+        }
+    }
+
+    /// NUMA-WS on `workers` packed workers with the paper's protocol.
+    pub fn numa_ws(workers: usize) -> Self {
+        SimConfig {
+            scheduler: SchedulerKind::NumaWs,
+            workers,
+            placement: Placement::Packed,
+            seed: 0x5EED,
+            push_threshold: 4,
+            mailbox_capacity: 1,
+            coin_flip: CoinFlip::Fair,
+            biased_steals: true,
+            latency: LatencyModel::default(),
+            caches: CacheConfig::default(),
+            contention: ContentionModel::default(),
+            costs: SchedCosts::default(),
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style placement override.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_has_no_numa_machinery() {
+        let c = SimConfig::classic(32);
+        assert_eq!(c.scheduler, SchedulerKind::Classic);
+        assert_eq!(c.mailbox_capacity, 0);
+        assert!(!c.biased_steals);
+        assert_eq!(c.coin_flip, CoinFlip::DequeOnly);
+    }
+
+    #[test]
+    fn numa_ws_defaults_match_paper() {
+        let c = SimConfig::numa_ws(32);
+        assert_eq!(c.mailbox_capacity, 1);
+        assert!(c.biased_steals);
+        assert_eq!(c.coin_flip, CoinFlip::Fair);
+        assert!(c.push_threshold >= 1);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = SimConfig::numa_ws(8).with_seed(42).with_placement(Placement::Spread { sockets: 4 });
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.placement, Placement::Spread { sockets: 4 });
+    }
+
+    #[test]
+    fn work_path_costs_smaller_than_steal_path() {
+        let c = SchedCosts::default();
+        assert!(c.spawn_push < c.promote);
+        assert!(c.pop < c.steal_base);
+        assert!(c.sync_trivial < c.sync_nontrivial);
+    }
+}

@@ -1,0 +1,730 @@
+//! The discrete-event scheduler engine.
+//!
+//! Executes a [`Dag`] on a simulated NUMA [`Topology`] under either the
+//! classic work-stealing algorithm (paper Figure 2) or the NUMA-WS
+//! algorithm (paper Figure 5). Both run in the same engine; the NUMA-WS
+//! mechanisms (mailboxes, lazy pushback, biased victims, coin flip) are
+//! switched by the [`SimConfig`] so ablations can toggle each one.
+//!
+//! Time advances per worker: each simulation turn picks the worker with the
+//! smallest local clock (ties by index) and lets it perform one action —
+//! execute a strand, spawn, sync, return, or take one trip through the
+//! scheduling loop. Deques and mailboxes are plain sequential state because
+//! turns are serialized; the concurrency *protocol* (who may take what,
+//! when) follows the paper's pseudocode exactly.
+
+use crate::config::{CoinFlip, SchedulerKind, SimConfig};
+use crate::dag::{Dag, FrameId, Step};
+use crate::memory::MemorySystem;
+use crate::report::{Counters, SimReport, WorkerTimes};
+use nws_topology::{Place, StealDistribution, Topology, TopologyError, WorkerMap};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::VecDeque;
+
+/// What a worker is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WState {
+    /// Executing `frame` at step index `step`.
+    Exec { frame: usize, step: u32 },
+    /// In the scheduling loop, about to CHECKPARENT of `parent`.
+    CheckParent { parent: usize },
+    /// In the scheduling loop, about to attempt a steal.
+    Steal,
+}
+
+/// A ready continuation: a frame plus the step to resume at.
+type Cont = (usize, u32);
+
+/// One configured simulation, ready to [`run`](Simulation::run).
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    topo: &'a Topology,
+    dag: &'a Dag,
+    cfg: SimConfig,
+    map: WorkerMap,
+}
+
+impl<'a> Simulation<'a> {
+    /// Prepares a simulation of `dag` on `topo` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if the worker count or placement does
+    /// not fit the machine.
+    pub fn new(topo: &'a Topology, cfg: SimConfig, dag: &'a Dag) -> Result<Self, TopologyError> {
+        let map = cfg.placement.assign(topo, cfg.workers)?;
+        Ok(Simulation { topo, dag, cfg, map })
+    }
+
+    /// The worker map chosen for this run.
+    pub fn worker_map(&self) -> &WorkerMap {
+        &self.map
+    }
+
+    /// Runs the simulation to completion and reports the breakdown.
+    pub fn run(&self) -> SimReport {
+        Engine::new(self.topo, self.dag, &self.cfg, self.map.clone()).run()
+    }
+
+    /// The serial-elision time `TS`: the same strands in depth-first serial
+    /// order on worker 0, with the memory model active but **no** parallel
+    /// overhead (no deque pushes/pops, no sync checks) — exactly the
+    /// paper's definition of the elision baseline.
+    pub fn serial_elision(topo: &Topology, cfg: &SimConfig, dag: &Dag) -> u64 {
+        let map = nws_topology::Placement::Packed
+            .assign(topo, 1)
+            .expect("one worker always fits");
+        let mut mem = MemorySystem::new(
+            topo,
+            &map,
+            dag.regions_vec(),
+            cfg.latency.clone(),
+            cfg.caches,
+            cfg.contention.clone(),
+        );
+        let mut total = 0u64;
+        let mut stack: Vec<Cont> = Vec::new();
+        let mut cur: Cont = (dag.root().0, 0);
+        loop {
+            let frame = dag.frame(FrameId(cur.0));
+            if (cur.1 as usize) == frame.steps.len() {
+                match stack.pop() {
+                    Some(c) => {
+                        cur = c;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            match &frame.steps[cur.1 as usize] {
+                Step::Strand(s) => {
+                    total += s.cycles;
+                    for t in &s.touches {
+                        total += mem.access(0, t, total);
+                    }
+                    cur.1 += 1;
+                }
+                Step::Spawn(c) => {
+                    stack.push((cur.0, cur.1 + 1));
+                    cur = (c.0, 0);
+                }
+                Step::Sync => cur.1 += 1,
+            }
+        }
+        total
+    }
+}
+
+struct Engine<'a> {
+    topo: &'a Topology,
+    dag: &'a Dag,
+    cfg: &'a SimConfig,
+    map: WorkerMap,
+    mem: MemorySystem,
+    numa_ws: bool,
+
+    clocks: Vec<u64>,
+    work: Vec<u64>,
+    sched: Vec<u64>,
+    states: Vec<WState>,
+    deques: Vec<VecDeque<Cont>>,
+    mailboxes: Vec<VecDeque<Cont>>,
+    rngs: Vec<SmallRng>,
+    dists: Vec<Option<StealDistribution>>,
+
+    join: Vec<u32>,
+    stolen: Vec<bool>,
+    suspended: Vec<Option<u32>>,
+
+    counters: Counters,
+    done_at: Option<u64>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(topo: &'a Topology, dag: &'a Dag, cfg: &'a SimConfig, map: WorkerMap) -> Self {
+        let p = map.num_workers();
+        let mem = MemorySystem::new(
+            topo,
+            &map,
+            dag.regions_vec(),
+            cfg.latency.clone(),
+            cfg.caches,
+            cfg.contention.clone(),
+        );
+        let dists = (0..p)
+            .map(|w| {
+                if p < 2 {
+                    None
+                } else if cfg.biased_steals {
+                    Some(StealDistribution::biased(topo, &map, w))
+                } else {
+                    Some(StealDistribution::uniform(p, w))
+                }
+            })
+            .collect();
+        let mut states = vec![WState::Steal; p];
+        states[0] = WState::Exec { frame: dag.root().0, step: 0 };
+        Engine {
+            topo,
+            dag,
+            cfg,
+            mem,
+            numa_ws: cfg.scheduler == SchedulerKind::NumaWs,
+            clocks: vec![0; p],
+            work: vec![0; p],
+            sched: vec![0; p],
+            states,
+            deques: (0..p).map(|_| VecDeque::new()).collect(),
+            mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
+            rngs: (0..p)
+                .map(|w| SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x9E3779B97F4A7C15)))
+                .collect(),
+            dists,
+            join: vec![0; dag.num_frames()],
+            stolen: vec![false; dag.num_frames()],
+            suspended: vec![None; dag.num_frames()],
+            counters: Counters::default(),
+            done_at: None,
+            map,
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        let p = self.clocks.len();
+        while self.done_at.is_none() {
+            // Min-clock worker acts next; ties broken by index for
+            // determinism.
+            let mut w = 0;
+            for i in 1..p {
+                if self.clocks[i] < self.clocks[w] {
+                    w = i;
+                }
+            }
+            self.step(w);
+        }
+        let makespan = self.done_at.unwrap();
+        let workers = (0..p)
+            .map(|w| {
+                let busy = self.work[w] + self.sched[w];
+                WorkerTimes {
+                    work: self.work[w],
+                    sched: self.sched[w],
+                    idle: makespan.saturating_sub(busy),
+                }
+            })
+            .collect();
+        SimReport {
+            makespan,
+            workers,
+            counters: self.counters,
+            class_lines: self.mem.class_lines,
+        }
+    }
+
+    fn my_place(&self, w: usize) -> Place {
+        self.map.place_of(w)
+    }
+
+    fn place_of_frame(&self, f: usize) -> Place {
+        self.dag.frame(FrameId(f)).place
+    }
+
+    /// A frame hinted for somewhere other than worker `w`'s place?
+    fn is_foreign(&self, w: usize, f: usize) -> bool {
+        let p = self.place_of_frame(f);
+        !p.is_any() && p.index().unwrap() % self.map.num_places() != self.my_place(w).0
+    }
+
+    fn distance(&self, a: usize, b: usize) -> u64 {
+        self.topo
+            .distances()
+            .distance(self.map.socket_of(a), self.map.socket_of(b)) as u64
+    }
+
+    fn step(&mut self, w: usize) {
+        match self.states[w] {
+            WState::Exec { frame, step } => self.step_exec(w, frame, step),
+            WState::CheckParent { parent } => self.step_check_parent(w, parent),
+            WState::Steal => self.step_steal(w),
+        }
+    }
+
+    fn step_exec(&mut self, w: usize, frame: usize, step: u32) {
+        let def = self.dag.frame(FrameId(frame));
+        if (step as usize) == def.steps.len() {
+            self.frame_returns(w, frame);
+            return;
+        }
+        match &def.steps[step as usize] {
+            Step::Strand(s) => {
+                let mut cost = s.cycles;
+                for t in &s.touches {
+                    cost += self.mem.access(w, t, self.clocks[w]);
+                }
+                self.clocks[w] += cost;
+                self.work[w] += cost;
+                self.states[w] = WState::Exec { frame, step: step + 1 };
+            }
+            Step::Spawn(c) => {
+                // Push the continuation; it becomes stealable (Fig 2 l.1-2).
+                self.deques[w].push_back((frame, step + 1));
+                self.join[frame] += 1;
+                let cost = self.cfg.costs.spawn_push;
+                self.clocks[w] += cost;
+                self.work[w] += cost;
+                self.states[w] = WState::Exec { frame: c.0, step: 0 };
+            }
+            Step::Sync => self.step_sync(w, frame, step),
+        }
+    }
+
+    fn step_sync(&mut self, w: usize, frame: usize, step: u32) {
+        if !self.stolen[frame] {
+            // Never stolen: the sync is a no-op (Fig 2 l.18).
+            let cost = self.cfg.costs.sync_trivial;
+            self.clocks[w] += cost;
+            self.work[w] += cost;
+            self.states[w] = WState::Exec { frame, step: step + 1 };
+            return;
+        }
+        // Full frame: CHECKSYNC (Fig 2 l.11 / Fig 5 l.3).
+        self.counters.nontrivial_syncs += 1;
+        let cost = self.cfg.costs.sync_nontrivial;
+        self.clocks[w] += cost;
+        self.sched[w] += cost;
+        if self.join[frame] == 0 {
+            // Sync succeeds; the frame is no longer "stolen since its last
+            // successful sync".
+            self.stolen[frame] = false;
+            self.resume_full(w, (frame, step + 1));
+        } else {
+            // Outstanding children: suspend and go steal (Fig 2 l.15-17).
+            self.suspended[frame] = Some(step);
+            self.counters.suspensions += 1;
+            let cost = self.cfg.costs.suspend;
+            self.clocks[w] += cost;
+            self.sched[w] += cost;
+            self.states[w] = WState::Steal;
+        }
+    }
+
+    fn frame_returns(&mut self, w: usize, frame: usize) {
+        if frame == self.dag.root().0 {
+            self.done_at = Some(self.clocks[w]);
+            return;
+        }
+        let parent = self
+            .dag
+            .frame(FrameId(frame))
+            .parent
+            .expect("non-root frame has a parent")
+            .0;
+        self.join[parent] -= 1;
+        if let Some((pf, pstep)) = self.deques[w].pop_back() {
+            // Parent not stolen: resume it (Fig 2 l.3-5). The tail entry is
+            // necessarily our parent's continuation.
+            debug_assert_eq!(pf, parent, "deque tail must be the parent continuation");
+            let cost = self.cfg.costs.pop;
+            self.clocks[w] += cost;
+            self.work[w] += cost;
+            self.states[w] = WState::Exec { frame: pf, step: pstep };
+        } else {
+            // Parent stolen: return to the scheduling loop and check it
+            // (Fig 2 l.6-8, l.20-22).
+            self.states[w] = WState::CheckParent { parent };
+        }
+    }
+
+    fn step_check_parent(&mut self, w: usize, parent: usize) {
+        let cost = self.cfg.costs.check_parent;
+        self.clocks[w] += cost;
+        self.sched[w] += cost;
+        if self.join[parent] == 0 {
+            if let Some(s) = self.suspended[parent] {
+                // We are the last returning child; the parent resumes at
+                // the continuation of its sync (Fig 5 l.21-24).
+                self.suspended[parent] = None;
+                self.stolen[parent] = false;
+                self.counters.parent_resumes += 1;
+                self.resume_full(w, (parent, s + 1));
+                return;
+            }
+        }
+        self.states[w] = WState::Steal;
+    }
+
+    /// A worker holds a ready full frame. Under NUMA-WS, a frame earmarked
+    /// for another place is pushed back (Fig 5 l.5-11 / l.21-26); on push
+    /// failure past the threshold the worker keeps it.
+    fn resume_full(&mut self, w: usize, cont: Cont) {
+        if self.numa_ws && self.is_foreign(w, cont.0) && self.pushback(w, cont) {
+            self.states[w] = WState::Steal;
+        } else {
+            self.states[w] = WState::Exec { frame: cont.0, step: cont.1 };
+        }
+    }
+
+    /// One PUSHBACK episode. Returns `true` if the frame was delivered to a
+    /// mailbox on its designated place.
+    fn pushback(&mut self, w: usize, cont: Cont) -> bool {
+        if self.cfg.mailbox_capacity == 0 {
+            return false;
+        }
+        let place = self.place_of_frame(cont.0);
+        let place_idx = place.index().expect("foreign frame has a concrete place")
+            % self.map.num_places();
+        let candidates: Vec<usize> = self.map.workers_of_place(Place(place_idx)).to_vec();
+        if candidates.is_empty() {
+            return false;
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.counters.push_attempts += 1;
+            let r = candidates[(self.rngs[w].next_u64() % candidates.len() as u64) as usize];
+            let cost = self.cfg.costs.push_attempt
+                + self.cfg.costs.steal_per_distance * self.distance(w, r);
+            self.clocks[w] += cost;
+            self.sched[w] += cost;
+            if self.mailboxes[r].len() < self.cfg.mailbox_capacity {
+                self.mailboxes[r].push_back(cont);
+                self.counters.push_deliveries += 1;
+                return true;
+            }
+            if attempts > self.cfg.push_threshold {
+                self.counters.push_failures += 1;
+                return false;
+            }
+        }
+    }
+
+    fn step_steal(&mut self, w: usize) {
+        // Check own mailbox first (Fig 5 l.25-26): anything there is for
+        // our place by construction.
+        if let Some(cont) = self.mailboxes[w].pop_front() {
+            let cost = self.cfg.costs.mailbox_take;
+            self.clocks[w] += cost;
+            self.sched[w] += cost;
+            self.counters.mailbox_takes += 1;
+            self.states[w] = WState::Exec { frame: cont.0, step: cont.1 };
+            return;
+        }
+        let dist = self.dists[w]
+            .as_ref()
+            .expect("a lone worker never enters the scheduling loop")
+            .clone();
+        let victim = dist.sample(self.rngs[w].next_u64());
+        let probe_cost =
+            self.cfg.costs.steal_base + self.cfg.costs.steal_per_distance * self.distance(w, victim);
+        self.counters.steal_attempts += 1;
+
+        // Coin flip between deque and mailbox (Fig 5 / §III-B).
+        let try_mailbox = self.numa_ws
+            && match self.cfg.coin_flip {
+                CoinFlip::Fair => self.rngs[w].next_u64() & 1 == 0,
+                CoinFlip::MailboxFirst => true,
+                CoinFlip::DequeOnly => false,
+            };
+        if try_mailbox {
+            if let Some(&cont) = self.mailboxes[victim].front() {
+                if !self.is_foreign(w, cont.0) {
+                    // Earmarked for our socket: take it.
+                    self.mailboxes[victim].pop_front();
+                    let cost = probe_cost + self.cfg.costs.mailbox_take;
+                    self.clocks[w] += cost;
+                    self.sched[w] += cost;
+                    self.counters.mailbox_takes += 1;
+                    self.states[w] = WState::Exec { frame: cont.0, step: cont.1 };
+                } else {
+                    // Earmarked elsewhere: relay it with lazy pushing; if
+                    // the episode exhausts the threshold, take it ourselves.
+                    self.mailboxes[victim].pop_front();
+                    self.counters.mailbox_takes += 1;
+                    self.clocks[w] += probe_cost;
+                    self.sched[w] += probe_cost;
+                    if self.pushback(w, cont) {
+                        self.states[w] = WState::Steal;
+                    } else {
+                        self.states[w] = WState::Exec { frame: cont.0, step: cont.1 };
+                    }
+                }
+                return;
+            }
+            // Mailbox empty: fall through to the deque (outcome 1).
+        }
+        if let Some(cont) = self.deques[victim].pop_front() {
+            // Successful steal: promote to a full frame.
+            self.stolen[cont.0] = true;
+            self.counters.steals += 1;
+            if self.map.socket_of(victim) != self.map.socket_of(w) {
+                self.counters.remote_steals += 1;
+            }
+            let cost = probe_cost + self.cfg.costs.promote;
+            self.clocks[w] += cost;
+            self.sched[w] += cost;
+            self.resume_full(w, cont);
+        } else {
+            // Failed steal: idle cycles (accounted via makespan minus busy).
+            self.clocks[w] += probe_cost;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{DagBuilder, Strand};
+    use crate::memory::{PagePolicy, Touch};
+    use nws_topology::presets;
+
+    /// Balanced binary spawn tree with `leaves` leaves of `cycles` each.
+    fn tree_dag(leaves: usize, cycles: u64) -> Dag {
+        fn rec(b: &mut DagBuilder, n: usize, cycles: u64) -> FrameId {
+            if n == 1 {
+                return b.leaf(Place::ANY, Strand::compute(cycles));
+            }
+            let l = rec(b, n / 2, cycles);
+            let r = rec(b, n - n / 2, cycles);
+            b.frame(Place::ANY).spawn(l).spawn(r).sync().finish()
+        }
+        let mut b = DagBuilder::new();
+        let root = rec(&mut b, leaves, cycles);
+        b.build(root)
+    }
+
+    #[test]
+    fn serial_chain_single_worker() {
+        let mut b = DagBuilder::new();
+        let root = b.frame(Place::ANY).compute(100).compute(50).finish();
+        let dag = b.build(root);
+        let topo = presets::paper_machine();
+        let sim = Simulation::new(&topo, SimConfig::classic(1), &dag).unwrap();
+        let r = sim.run();
+        assert_eq!(r.makespan, 150);
+        assert_eq!(r.workers[0].work, 150);
+        assert_eq!(r.workers[0].sched, 0);
+        assert_eq!(r.counters.steals, 0);
+    }
+
+    #[test]
+    fn one_worker_equals_work_plus_spawn_overhead() {
+        let dag = tree_dag(64, 100);
+        let topo = presets::paper_machine();
+        let cfg = SimConfig::classic(1);
+        let r = Simulation::new(&topo, cfg.clone(), &dag).unwrap().run();
+        // T1 = work + (push + pop) per spawn + trivial sync per sync.
+        let spawns = dag.num_spawns();
+        let syncs = 63; // one per internal frame
+        let expect = dag.work()
+            + spawns * (cfg.costs.spawn_push + cfg.costs.pop)
+            + syncs * cfg.costs.sync_trivial;
+        assert_eq!(r.makespan, expect);
+        assert_eq!(r.counters.nontrivial_syncs, 0, "no steals on one worker");
+    }
+
+    #[test]
+    fn serial_elision_strips_overhead() {
+        let dag = tree_dag(64, 100);
+        let topo = presets::paper_machine();
+        let cfg = SimConfig::classic(1);
+        let ts = Simulation::serial_elision(&topo, &cfg, &dag);
+        assert_eq!(ts, dag.work());
+    }
+
+    #[test]
+    fn parallel_run_completes_and_speeds_up() {
+        let dag = tree_dag(256, 2_000);
+        let topo = presets::paper_machine();
+        let t1 = Simulation::new(&topo, SimConfig::classic(1), &dag).unwrap().run().makespan;
+        let r32 = Simulation::new(&topo, SimConfig::classic(32), &dag).unwrap().run();
+        assert!(r32.counters.steals > 0, "32 workers must steal");
+        let speedup = t1 as f64 / r32.makespan as f64;
+        assert!(speedup > 8.0, "speedup {speedup:.2} too low for 256-way parallel work");
+    }
+
+    #[test]
+    fn numa_ws_run_completes_same_dag() {
+        let dag = tree_dag(256, 2_000);
+        let topo = presets::paper_machine();
+        let r = Simulation::new(&topo, SimConfig::numa_ws(32), &dag).unwrap().run();
+        let t1 = Simulation::new(&topo, SimConfig::numa_ws(1), &dag).unwrap().run().makespan;
+        assert!(r.makespan < t1, "32 workers must beat 1");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dag = tree_dag(128, 500);
+        let topo = presets::paper_machine();
+        let a = Simulation::new(&topo, SimConfig::numa_ws(16).with_seed(7), &dag).unwrap().run();
+        let b = Simulation::new(&topo, SimConfig::numa_ws(16).with_seed(7), &dag).unwrap().run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.counters, b.counters);
+        let c = Simulation::new(&topo, SimConfig::numa_ws(16).with_seed(8), &dag).unwrap().run();
+        assert_ne!(
+            (a.makespan, a.counters.steal_attempts),
+            (c.makespan, c.counters.steal_attempts),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn hinted_frames_run_with_pushback_traffic() {
+        // Four hinted subtrees, one per place; NUMA-WS should generate
+        // pushes and mailbox hits; classic must not.
+        let mut b = DagBuilder::new();
+        let data = b.alloc("d", 64, PagePolicy::Chunked { chunks: 4 });
+        let mut subtrees = Vec::new();
+        for q in 0..4u64 {
+            let leaf = b.frame(Place(q as usize)).strand(Strand {
+                cycles: 20_000,
+                touches: vec![Touch {
+                    region: data,
+                    start_page: q * 16,
+                    pages: 16,
+                    lines_per_page: 64,
+                }],
+            });
+            subtrees.push(leaf.finish());
+        }
+        let mut fb = b.frame(Place(0));
+        for s in subtrees {
+            fb = fb.spawn(s);
+        }
+        let root = fb.sync().finish();
+        let dag = b.build(root);
+
+        let topo = presets::paper_machine();
+        let numa = Simulation::new(&topo, SimConfig::numa_ws(32), &dag).unwrap().run();
+        let classic = Simulation::new(&topo, SimConfig::classic(32), &dag).unwrap().run();
+        assert_eq!(classic.counters.push_attempts, 0);
+        assert_eq!(classic.counters.mailbox_takes, 0);
+        assert!(
+            numa.counters.push_deliveries > 0,
+            "NUMA-WS should push hinted frames toward their places: {:?}",
+            numa.counters
+        );
+    }
+
+    #[test]
+    fn locality_hints_reduce_remote_lines() {
+        // A wide tree per place, each leaf touching its place's chunk.
+        fn subtree(
+            b: &mut DagBuilder,
+            place: usize,
+            data: crate::memory::RegionId,
+            first: u64,
+            pages: u64,
+            leaves: u64,
+        ) -> FrameId {
+            if leaves == 1 {
+                return b
+                    .frame(Place(place))
+                    .strand(Strand {
+                        cycles: 500,
+                        touches: vec![Touch {
+                            region: data,
+                            start_page: first,
+                            pages,
+                            lines_per_page: 64,
+                        }],
+                    })
+                    .finish();
+            }
+            let l = subtree(b, place, data, first, pages / 2, leaves / 2);
+            let r = subtree(b, place, data, first + pages / 2, pages - pages / 2, leaves - leaves / 2);
+            b.frame(Place(place)).spawn(l).spawn(r).sync().finish()
+        }
+        let build = |hinted: bool| {
+            let mut b = DagBuilder::new();
+            let data = b.alloc("d", 1024, PagePolicy::Chunked { chunks: 4 });
+            let mut tops = Vec::new();
+            for q in 0..4usize {
+                let place = if hinted { q } else { 0 };
+                // Touch each quarter (256 pages) via 32 leaves.
+                let t = subtree(&mut b, place, data, q as u64 * 256, 256, 32);
+                tops.push(t);
+            }
+            let mut fb = b.frame(if hinted { Place(0) } else { Place::ANY });
+            for t in tops {
+                fb = fb.spawn(t);
+            }
+            let root = fb.sync().finish();
+            b.build(root)
+        };
+        let topo = presets::paper_machine();
+        let hinted = build(true);
+        let r_numa = Simulation::new(&topo, SimConfig::numa_ws(32), &hinted).unwrap().run();
+        let r_classic = Simulation::new(&topo, SimConfig::classic(32), &hinted).unwrap().run();
+        assert!(
+            r_numa.remote_fraction() < r_classic.remote_fraction(),
+            "NUMA-WS remote fraction {:.3} should beat classic {:.3}",
+            r_numa.remote_fraction(),
+            r_classic.remote_fraction()
+        );
+        assert!(
+            r_numa.total_work() < r_classic.total_work(),
+            "NUMA-WS work {} should be deflated vs classic {}",
+            r_numa.total_work(),
+            r_classic.total_work()
+        );
+    }
+
+    #[test]
+    fn steal_bound_scales_with_span() {
+        // O(P * T∞) steal attempts: check the ratio stays modest across
+        // sizes for a fixed P.
+        let topo = presets::paper_machine();
+        for leaves in [64usize, 256] {
+            let dag = tree_dag(leaves, 1_000);
+            let r = Simulation::new(&topo, SimConfig::classic(16), &dag).unwrap().run();
+            let bound = 16.0 * dag.span() as f64;
+            let ratio = r.counters.steal_attempts as f64 / bound;
+            assert!(
+                ratio < 60.0,
+                "steal attempts {} vastly exceed P*span {} (ratio {ratio:.1})",
+                r.counters.steal_attempts,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_bounded_by_greedy_bound_with_overheads() {
+        let dag = tree_dag(512, 1_000);
+        let topo = presets::paper_machine();
+        for p in [2usize, 8, 32] {
+            let r = Simulation::new(&topo, SimConfig::numa_ws(p), &dag).unwrap().run();
+            // T_P <= c1*T1/P + c2*T∞ with engine constants; use generous
+            // constants to keep the test robust while still meaningful.
+            let t1 = dag.work() as f64 + dag.num_spawns() as f64 * 11.0;
+            let bound = 2.0 * t1 / p as f64 + 2000.0 * dag.span() as f64;
+            assert!(
+                (r.makespan as f64) < bound,
+                "P={p}: makespan {} exceeds {bound}",
+                r.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn mailbox_capacity_zero_disables_pushing() {
+        let mut cfg = SimConfig::numa_ws(8);
+        cfg.mailbox_capacity = 0;
+        let dag = tree_dag(64, 500);
+        let topo = presets::paper_machine();
+        let r = Simulation::new(&topo, cfg, &dag).unwrap().run();
+        assert_eq!(r.counters.push_deliveries, 0);
+    }
+
+    #[test]
+    fn idle_plus_busy_equals_makespan() {
+        let dag = tree_dag(128, 1_000);
+        let topo = presets::paper_machine();
+        let r = Simulation::new(&topo, SimConfig::numa_ws(8), &dag).unwrap().run();
+        for w in &r.workers {
+            assert!(w.work + w.sched + w.idle >= r.makespan,
+                "per-worker times must cover the makespan");
+        }
+    }
+}

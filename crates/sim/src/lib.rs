@@ -1,0 +1,48 @@
+//! Discrete-event NUMA machine simulator for the NUMA-WS reproduction.
+//!
+//! The paper's evaluation needs a four-socket NUMA server; this container
+//! has none, so the evaluation substrate is simulated (see DESIGN.md §2).
+//! The simulator executes task DAGs under the paper's two schedulers —
+//! classic work stealing (Figure 2) and NUMA-WS (Figure 5) — over a machine
+//! model with per-socket shared LLCs, per-worker private caches, page homes
+//! set by allocation policy, and hop-scaled remote latencies. Work
+//! inflation, the phenomenon the paper measures, emerges from placement:
+//! the same strands cost more cycles when steals drag them away from their
+//! data.
+//!
+//! # Example
+//!
+//! ```
+//! use nws_sim::{DagBuilder, SimConfig, Simulation, Strand};
+//! use nws_topology::{presets, Place};
+//!
+//! // A two-leaf computation.
+//! let mut b = DagBuilder::new();
+//! let l = b.leaf(Place::ANY, Strand::compute(1_000));
+//! let r = b.leaf(Place::ANY, Strand::compute(1_000));
+//! let root = b.frame(Place::ANY).spawn(l).spawn(r).sync().finish();
+//! let dag = b.build(root);
+//!
+//! let topo = presets::paper_machine();
+//! let report = Simulation::new(&topo, SimConfig::numa_ws(2), &dag)
+//!     .expect("config fits machine")
+//!     .run();
+//! assert!(report.makespan >= 1_000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod dag;
+mod engine;
+mod memory;
+mod report;
+
+pub use config::{CoinFlip, SchedCosts, SchedulerKind, SimConfig};
+pub use dag::{Dag, DagBuilder, FrameBuilder, FrameDef, FrameId, Step, Strand};
+pub use engine::Simulation;
+pub use memory::{
+    CacheConfig, ContentionModel, FifoCache, LatencyModel, MemorySystem, PageId, PagePolicy,
+    Region, RegionId, Touch, LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES, STREAM_DISCOUNT_PCT,
+};
+pub use report::{Counters, SimReport, WorkerTimes};

@@ -1,0 +1,280 @@
+//! Host NUMA topology detection from Linux sysfs.
+//!
+//! On a real NUMA server (the deployment target the paper assumes), the
+//! machine description lives under `/sys/devices/system/node/`: one
+//! `nodeN` directory per socket with a `cpulist` (e.g. `0-7`) and a
+//! `distance` row (e.g. `10 21 21 31`). [`detect_host`] reads those and
+//! produces the same [`Topology`] the presets build synthetically, so a
+//! pool can bias its steals by the *actual* machine:
+//!
+//! ```no_run
+//! let topo = nws_topology::detect::detect_host().expect("NUMA sysfs present");
+//! println!("{topo}");
+//! ```
+//!
+//! On single-node machines (laptops, most containers) detection still
+//! succeeds and yields a one-socket topology. [`detect_from`] takes the
+//! sysfs root as a parameter so tests can exercise the parser against
+//! synthetic trees.
+
+use crate::{DistanceMatrix, Topology, TopologyError};
+use std::fmt;
+use std::path::Path;
+
+/// Errors from topology detection.
+#[derive(Debug)]
+pub enum DetectError {
+    /// The sysfs node directory is missing or unreadable.
+    Io(std::io::Error),
+    /// A sysfs file had unexpected contents.
+    Parse(String),
+    /// Node shapes that the [`Topology`] model cannot express (e.g.
+    /// sockets with different core counts).
+    Unsupported(String),
+    /// The parsed pieces do not assemble into a valid topology.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::Io(e) => write!(f, "sysfs read failed: {e}"),
+            DetectError::Parse(msg) => write!(f, "sysfs parse error: {msg}"),
+            DetectError::Unsupported(msg) => write!(f, "unsupported machine shape: {msg}"),
+            DetectError::Topology(e) => write!(f, "inconsistent topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectError::Io(e) => Some(e),
+            DetectError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DetectError {
+    fn from(e: std::io::Error) -> Self {
+        DetectError::Io(e)
+    }
+}
+
+impl From<TopologyError> for DetectError {
+    fn from(e: TopologyError) -> Self {
+        DetectError::Topology(e)
+    }
+}
+
+/// Detects the topology of the current host from
+/// `/sys/devices/system/node`.
+///
+/// # Errors
+///
+/// Fails on non-Linux systems, sandboxes without sysfs, malformed sysfs
+/// contents, or machines whose sockets have unequal core counts (a shape
+/// the simple socket×cores model cannot express).
+pub fn detect_host() -> Result<Topology, DetectError> {
+    detect_from(Path::new("/sys/devices/system/node"))
+}
+
+/// Like [`detect_host`], reading from an arbitrary sysfs-node-style root.
+///
+/// # Errors
+///
+/// As [`detect_host`].
+pub fn detect_from(root: &Path) -> Result<Topology, DetectError> {
+    let mut nodes: Vec<usize> = Vec::new();
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name.strip_prefix("node") {
+            if let Ok(i) = idx.parse::<usize>() {
+                nodes.push(i);
+            }
+        }
+    }
+    if nodes.is_empty() {
+        return Err(DetectError::Parse("no nodeN directories found".into()));
+    }
+    nodes.sort_unstable();
+    if nodes != (0..nodes.len()).collect::<Vec<_>>() {
+        return Err(DetectError::Unsupported(format!(
+            "non-contiguous node ids {nodes:?} (offline nodes are not supported)"
+        )));
+    }
+
+    let mut core_counts = Vec::with_capacity(nodes.len());
+    let mut distance_rows: Vec<Vec<u32>> = Vec::with_capacity(nodes.len());
+    for &n in &nodes {
+        let dir = root.join(format!("node{n}"));
+        let cpulist = std::fs::read_to_string(dir.join("cpulist"))?;
+        core_counts.push(parse_cpulist(cpulist.trim())?.len());
+        let distance = std::fs::read_to_string(dir.join("distance"))?;
+        let row: Result<Vec<u32>, _> =
+            distance.split_whitespace().map(|t| t.parse::<u32>()).collect();
+        distance_rows
+            .push(row.map_err(|e| DetectError::Parse(format!("bad distance entry: {e}")))?);
+    }
+
+    let cores = core_counts[0];
+    if core_counts.iter().any(|&c| c != cores) {
+        return Err(DetectError::Unsupported(format!(
+            "sockets with unequal core counts {core_counts:?}"
+        )));
+    }
+    if cores == 0 {
+        return Err(DetectError::Unsupported("socket with zero cpus".into()));
+    }
+    let n = nodes.len();
+    if distance_rows.iter().any(|r| r.len() != n) {
+        return Err(DetectError::Parse(format!("expected {n} distances per node")));
+    }
+    let flat: Vec<u32> = distance_rows.into_iter().flatten().collect();
+    // Validate shape through the strict constructor (symmetric, 10 on the
+    // diagonal) — surface violations as parse errors, not panics.
+    let matrix = std::panic::catch_unwind(|| DistanceMatrix::from_rows(n, flat))
+        .map_err(|_| DetectError::Parse("distance matrix asymmetric or bad diagonal".into()))?;
+
+    Ok(Topology::builder()
+        .sockets(n)
+        .cores_per_socket(cores)
+        .distances(matrix)
+        .build()?)
+}
+
+/// Parses a sysfs cpulist like `0-3,8-11,16` into cpu ids.
+fn parse_cpulist(list: &str) -> Result<Vec<usize>, DetectError> {
+    let mut cpus = Vec::new();
+    if list.is_empty() {
+        return Ok(cpus);
+    }
+    for part in list.split(',') {
+        let part = part.trim();
+        match part.split_once('-') {
+            Some((a, b)) => {
+                let a: usize =
+                    a.parse().map_err(|e| DetectError::Parse(format!("cpulist '{part}': {e}")))?;
+                let b: usize =
+                    b.parse().map_err(|e| DetectError::Parse(format!("cpulist '{part}': {e}")))?;
+                if b < a {
+                    return Err(DetectError::Parse(format!("descending range '{part}'")));
+                }
+                cpus.extend(a..=b);
+            }
+            None => cpus.push(
+                part.parse().map_err(|e| DetectError::Parse(format!("cpulist '{part}': {e}")))?,
+            ),
+        }
+    }
+    Ok(cpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    struct TempTree(PathBuf);
+
+    impl TempTree {
+        fn new(name: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "nws-detect-{name}-{}",
+                std::process::id()
+            ));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).unwrap();
+            TempTree(dir)
+        }
+
+        fn node(&self, i: usize, cpulist: &str, distance: &str) {
+            let d = self.0.join(format!("node{i}"));
+            fs::create_dir_all(&d).unwrap();
+            fs::write(d.join("cpulist"), cpulist).unwrap();
+            fs::write(d.join("distance"), distance).unwrap();
+        }
+    }
+
+    impl Drop for TempTree {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn parses_paper_like_machine() {
+        let t = TempTree::new("paper");
+        t.node(0, "0-7", "10 21 21 31");
+        t.node(1, "8-15", "21 10 31 21");
+        t.node(2, "16-23", "21 31 10 21");
+        t.node(3, "24-31", "31 21 21 10");
+        let topo = detect_from(&t.0).unwrap();
+        assert_eq!(topo.num_sockets(), 4);
+        assert_eq!(topo.cores_per_socket(), 8);
+        assert_eq!(topo.distances().tiers(), vec![10, 21, 31]);
+    }
+
+    #[test]
+    fn parses_single_node() {
+        let t = TempTree::new("single");
+        t.node(0, "0-23", "10");
+        let topo = detect_from(&t.0).unwrap();
+        assert_eq!(topo.num_sockets(), 1);
+        assert_eq!(topo.num_cores(), 24);
+    }
+
+    #[test]
+    fn cpulist_with_gaps_and_singletons() {
+        assert_eq!(parse_cpulist("0-2,5,7-8").unwrap(), vec![0, 1, 2, 5, 7, 8]);
+        assert_eq!(parse_cpulist("3").unwrap(), vec![3]);
+        assert!(parse_cpulist("4-2").is_err());
+        assert!(parse_cpulist("a-b").is_err());
+    }
+
+    #[test]
+    fn unequal_sockets_rejected() {
+        let t = TempTree::new("unequal");
+        t.node(0, "0-7", "10 21");
+        t.node(1, "8-11", "21 10");
+        assert!(matches!(detect_from(&t.0), Err(DetectError::Unsupported(_))));
+    }
+
+    #[test]
+    fn asymmetric_distances_rejected() {
+        let t = TempTree::new("asym");
+        t.node(0, "0-3", "10 21");
+        t.node(1, "4-7", "22 10");
+        assert!(matches!(detect_from(&t.0), Err(DetectError::Parse(_))));
+    }
+
+    #[test]
+    fn missing_tree_is_io_error() {
+        let missing = std::env::temp_dir().join("nws-detect-definitely-missing");
+        assert!(matches!(detect_from(&missing), Err(DetectError::Io(_))));
+    }
+
+    #[test]
+    fn non_contiguous_nodes_rejected() {
+        let t = TempTree::new("gap");
+        t.node(0, "0-3", "10 21");
+        t.node(2, "4-7", "21 10");
+        assert!(matches!(detect_from(&t.0), Err(DetectError::Unsupported(_))));
+    }
+
+    #[test]
+    fn detect_host_on_this_container() {
+        // Works if the container exposes sysfs (one node), errors cleanly
+        // otherwise — either way, no panic.
+        match detect_host() {
+            Ok(topo) => assert!(topo.num_cores() >= 1),
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+}

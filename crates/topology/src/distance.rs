@@ -1,0 +1,290 @@
+//! numactl-style inter-socket distance matrices.
+
+use crate::SocketId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A symmetric matrix of relative memory-access distances between sockets,
+/// in the convention used by `numactl --hardware`: the local distance is 10
+/// and remote distances grow with hop count (e.g. 21 for one QPI hop, 31 for
+/// two).
+///
+/// The NUMA-WS runtime "configures the steal probability distribution
+/// according to the distances between virtual places, where the distances
+/// are determined by the output from numactl" (paper §III-B); this type is
+/// that input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major `n x n` distances.
+    d: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// The conventional numactl distance from a socket to itself.
+    pub const LOCAL: u32 = 10;
+
+    /// Builds a distance matrix from row-major entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != n * n`, if any diagonal entry differs from
+    /// [`Self::LOCAL`], or if the matrix is not symmetric — malformed
+    /// distances would silently corrupt the steal distribution.
+    pub fn from_rows(n: usize, d: Vec<u32>) -> Self {
+        assert_eq!(d.len(), n * n, "distance matrix must be n*n");
+        for i in 0..n {
+            assert_eq!(
+                d[i * n + i],
+                Self::LOCAL,
+                "diagonal distance must be {} (numactl convention)",
+                Self::LOCAL
+            );
+            for j in 0..n {
+                assert_eq!(d[i * n + j], d[j * n + i], "distance matrix must be symmetric");
+            }
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// A matrix for `n` sockets that are all equidistant (`remote` between
+    /// any two distinct sockets). This models fully-connected machines.
+    pub fn uniform(n: usize, remote: u32) -> Self {
+        let mut d = vec![remote; n * n];
+        for i in 0..n {
+            d[i * n + i] = Self::LOCAL;
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// A matrix for `n` sockets arranged on a ring (each socket has two
+    /// one-hop neighbours). Distance grows by `per_hop` for each hop along
+    /// the shorter arc: `10 + per_hop * hops`.
+    ///
+    /// With `n = 4` and `per_hop = 11` wait — the paper's Figure 1 machine
+    /// uses 21 for one hop and 31 for two, i.e. `10 + 11*1` and `10 + 21*...`;
+    /// see [`ring_with`] for explicit steps. This constructor uses
+    /// `10 + per_hop * hops` directly.
+    ///
+    /// [`ring_with`]: DistanceMatrix::ring_with
+    pub fn ring(n: usize, per_hop: u32) -> Self {
+        Self::ring_with(n, |hops| Self::LOCAL + per_hop * hops)
+    }
+
+    /// A ring matrix where the distance for `h` hops is `f(h)` (with
+    /// `f(0)` required to equal [`Self::LOCAL`]).
+    pub fn ring_with(n: usize, f: impl Fn(u32) -> u32) -> Self {
+        assert!(n > 0, "ring needs at least one socket");
+        let mut d = vec![0u32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let fwd = (j + n - i) % n;
+                let hops = fwd.min(n - fwd) as u32;
+                d[i * n + j] = f(hops);
+            }
+        }
+        Self::from_rows(n, d)
+    }
+
+    /// Number of sockets described.
+    #[inline]
+    pub fn num_sockets(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between two sockets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either socket index is out of range.
+    #[inline]
+    pub fn distance(&self, a: SocketId, b: SocketId) -> u32 {
+        assert!(a.0 < self.n && b.0 < self.n, "socket out of range");
+        self.d[a.0 * self.n + b.0]
+    }
+
+    /// The distinct distance values in ascending order (always starts with
+    /// [`Self::LOCAL`]). Useful for bucketing sockets into locality tiers.
+    pub fn tiers(&self) -> Vec<u32> {
+        let mut t: Vec<u32> = self.d.clone();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// Parses the `node distances:` block of `numactl --hardware` output.
+    ///
+    /// Expected shape (header row then one row per node):
+    ///
+    /// ```text
+    /// node   0   1   2   3
+    ///   0:  10  21  21  31
+    ///   1:  21  10  31  21
+    ///   2:  21  31  10  21
+    ///   3:  31  21  21  10
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if the text does not contain a
+    /// well-formed, symmetric matrix with `10` on the diagonal.
+    pub fn parse_numactl(text: &str) -> Result<Self, String> {
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            // Data rows look like "0:  10 21 21 31".
+            let Some((label, rest)) = line.split_once(':') else {
+                continue;
+            };
+            if label.trim().parse::<usize>().is_err() {
+                continue;
+            }
+            let row: Result<Vec<u32>, _> =
+                rest.split_whitespace().map(|t| t.parse::<u32>()).collect();
+            match row {
+                Ok(r) if !r.is_empty() => rows.push(r),
+                Ok(_) => return Err("empty distance row".to_string()),
+                Err(e) => return Err(format!("bad distance entry: {e}")),
+            }
+        }
+        if rows.is_empty() {
+            return Err("no distance rows found".to_string());
+        }
+        let n = rows.len();
+        if rows.iter().any(|r| r.len() != n) {
+            return Err(format!("expected {n} entries per row"));
+        }
+        let flat: Vec<u32> = rows.into_iter().flatten().collect();
+        for i in 0..n {
+            if flat[i * n + i] != Self::LOCAL {
+                return Err(format!("diagonal entry {i} is not {}", Self::LOCAL));
+            }
+            for j in 0..n {
+                if flat[i * n + j] != flat[j * n + i] {
+                    return Err(format!("matrix not symmetric at ({i},{j})"));
+                }
+            }
+        }
+        Ok(DistanceMatrix { n, d: flat })
+    }
+}
+
+impl fmt::Display for DistanceMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node ")?;
+        for j in 0..self.n {
+            write!(f, "{j:>4}")?;
+        }
+        writeln!(f)?;
+        for i in 0..self.n {
+            write!(f, "{i:>3}: ")?;
+            for j in 0..self.n {
+                write!(f, "{:>4}", self.d[i * self.n + j])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_matrix() -> DistanceMatrix {
+        // Figure 1 machine: QPI ring 0-1-3-2-0.
+        DistanceMatrix::ring_with(4, |h| match h {
+            0 => 10,
+            1 => 21,
+            _ => 31,
+        })
+    }
+
+    #[test]
+    fn ring_four_sockets_matches_paper_shape() {
+        let m = paper_matrix();
+        // On the ring 0-1-3-2-0 (socket order around the ring), each socket
+        // has two one-hop neighbours and one two-hop socket.
+        for i in 0..4 {
+            let s = SocketId(i);
+            assert_eq!(m.distance(s, s), 10);
+            let mut counts = [0usize; 2];
+            for j in 0..4 {
+                if i == j {
+                    continue;
+                }
+                match m.distance(s, SocketId(j)) {
+                    21 => counts[0] += 1,
+                    31 => counts[1] += 1,
+                    other => panic!("unexpected distance {other}"),
+                }
+            }
+            assert_eq!(counts, [2, 1]);
+        }
+    }
+
+    #[test]
+    fn uniform_matrix() {
+        let m = DistanceMatrix::uniform(3, 20);
+        assert_eq!(m.distance(SocketId(0), SocketId(0)), 10);
+        assert_eq!(m.distance(SocketId(0), SocketId(2)), 20);
+        assert_eq!(m.tiers(), vec![10, 20]);
+    }
+
+    #[test]
+    fn single_socket_matrix() {
+        let m = DistanceMatrix::uniform(1, 20);
+        assert_eq!(m.num_sockets(), 1);
+        assert_eq!(m.tiers(), vec![10]);
+    }
+
+    #[test]
+    fn tiers_sorted_and_deduped() {
+        let m = paper_matrix();
+        assert_eq!(m.tiers(), vec![10, 21, 31]);
+    }
+
+    #[test]
+    fn parse_numactl_roundtrip() {
+        let m = paper_matrix();
+        let text = format!("available: 4 nodes (0-3)\nnode distances:\n{m}");
+        let parsed = DistanceMatrix::parse_numactl(&text).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn parse_rejects_asymmetric() {
+        let text = "node 0 1\n0: 10 21\n1: 22 10\n";
+        assert!(DistanceMatrix::parse_numactl(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_diagonal() {
+        let text = "node 0 1\n0: 11 21\n1: 21 11\n";
+        assert!(DistanceMatrix::parse_numactl(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_ragged() {
+        let text = "node 0 1\n0: 10 21 33\n1: 21 10\n";
+        assert!(DistanceMatrix::parse_numactl(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_empty() {
+        assert!(DistanceMatrix::parse_numactl("hello\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn from_rows_asserts_symmetry() {
+        DistanceMatrix::from_rows(2, vec![10, 21, 22, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "socket out of range")]
+    fn distance_bounds_checked() {
+        let m = DistanceMatrix::uniform(2, 20);
+        m.distance(SocketId(0), SocketId(2));
+    }
+}

@@ -1,0 +1,87 @@
+//! Ready-made machine descriptions, including the paper's evaluation box.
+
+use crate::{DistanceMatrix, Topology};
+
+/// The paper's evaluation machine (Figure 1 / §V): four sockets of eight
+/// 2.2 GHz cores (Intel Xeon E5-4620), QPI links forming a ring so each
+/// socket has two one-hop neighbours (distance 21) and one two-hop socket
+/// (distance 31).
+pub fn paper_machine() -> Topology {
+    Topology::builder()
+        .sockets(4)
+        .cores_per_socket(8)
+        .distances(DistanceMatrix::ring_with(4, |h| match h {
+            0 => 10,
+            1 => 21,
+            _ => 31,
+        }))
+        .build()
+        .expect("paper machine is well-formed")
+}
+
+/// A single-socket machine with `cores` cores — the degenerate case where
+/// NUMA-WS must behave exactly like classic work stealing.
+pub fn single_socket(cores: usize) -> Topology {
+    Topology::builder()
+        .sockets(1)
+        .cores_per_socket(cores)
+        .build()
+        .expect("single socket is well-formed")
+}
+
+/// A two-socket machine (`cores_per_socket` each) with one-hop distance 21,
+/// the most common commodity NUMA shape.
+pub fn dual_socket(cores_per_socket: usize) -> Topology {
+    Topology::builder()
+        .sockets(2)
+        .cores_per_socket(cores_per_socket)
+        .distances(DistanceMatrix::uniform(2, 21))
+        .build()
+        .expect("dual socket is well-formed")
+}
+
+/// An eight-socket machine on a ring with distances growing 10/21/31/41/51
+/// by hop — used to stress-test locality tiers beyond the paper's machine.
+pub fn eight_socket_ring(cores_per_socket: usize) -> Topology {
+    Topology::builder()
+        .sockets(8)
+        .cores_per_socket(cores_per_socket)
+        .distances(DistanceMatrix::ring_with(8, |h| 10 + 10 * h + h.min(1)))
+        .build()
+        .expect("eight socket ring is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SocketId;
+
+    #[test]
+    fn paper_machine_matches_figure_1() {
+        let t = paper_machine();
+        assert_eq!(t.num_sockets(), 4);
+        assert_eq!(t.cores_per_socket(), 8);
+        assert_eq!(t.num_cores(), 32);
+        assert_eq!(t.distances().tiers(), vec![10, 21, 31]);
+    }
+
+    #[test]
+    fn single_socket_has_one_tier() {
+        let t = single_socket(24);
+        assert_eq!(t.num_cores(), 24);
+        assert_eq!(t.distances().tiers(), vec![10]);
+    }
+
+    #[test]
+    fn dual_socket_distances() {
+        let t = dual_socket(4);
+        assert_eq!(t.distances().distance(SocketId(0), SocketId(1)), 21);
+    }
+
+    #[test]
+    fn eight_socket_ring_has_five_tiers() {
+        let t = eight_socket_ring(2);
+        assert_eq!(t.num_sockets(), 8);
+        assert_eq!(t.distances().tiers().len(), 5); // hops 0..=4
+    }
+}

@@ -1,0 +1,256 @@
+//! Victim-selection distributions for work stealing.
+//!
+//! Classic work stealing picks victims uniformly at random. NUMA-WS instead
+//! biases the choice by inter-socket distance (paper §III-B): a thief
+//! "preferentially selects victims from the local socket with the highest
+//! probability, followed by victims from sockets that are one hop away with
+//! medium probability, followed by victims from the socket that is two hops
+//! away with the lowest probability".
+//!
+//! The weights here are inverse-distance in the numactl convention
+//! (`weight ∝ 10 / distance`), so the paper's Figure 1 machine yields
+//! relative weights `1 : 10/21 : 10/31` for local : one-hop : two-hop
+//! victims. Any non-zero weight for the most remote socket keeps the
+//! `≥ 1/(cP)` per-deque steal probability that the Section IV analysis
+//! requires, so the `O(P·T∞)` steal bound is preserved (with `c` set by the
+//! most remote tier).
+
+use crate::{Topology, WorkerMap};
+use serde::{Deserialize, Serialize};
+
+/// Fixed-point scale for integer weights (one unit of weight = `1/SCALE`).
+const SCALE: u64 = 10_080; // divisible by 10, 21 and 31's rounding needs
+
+/// A precomputed victim-selection distribution for one thief.
+///
+/// Sampling is done by passing a uniformly random `u64` to [`sample`]; the
+/// distribution owns no RNG so it can be shared freely and drives both the
+/// real runtime and the simulator.
+///
+/// [`sample`]: StealDistribution::sample
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StealDistribution {
+    /// Cumulative weights per victim index; victims with zero weight (the
+    /// thief itself) contribute no increment.
+    cumulative: Vec<u64>,
+    /// Raw (non-cumulative) weights, kept for inspection and tests.
+    weights: Vec<u64>,
+    thief: usize,
+}
+
+impl StealDistribution {
+    /// Uniform distribution over every worker except the thief
+    /// (the classic work-stealing victim choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers < 2` or `thief >= workers` — a lone worker has no
+    /// victims to steal from.
+    pub fn uniform(workers: usize, thief: usize) -> Self {
+        assert!(workers >= 2, "need at least two workers to steal");
+        assert!(thief < workers, "thief index out of range");
+        let weights: Vec<u64> = (0..workers).map(|v| if v == thief { 0 } else { SCALE }).collect();
+        Self::from_weights(weights, thief)
+    }
+
+    /// Distance-biased distribution for `thief` given the machine topology
+    /// and the worker map of the current run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map has fewer than two workers or `thief` is out of
+    /// range.
+    pub fn biased(topo: &Topology, map: &WorkerMap, thief: usize) -> Self {
+        assert!(map.num_workers() >= 2, "need at least two workers to steal");
+        assert!(thief < map.num_workers(), "thief index out of range");
+        let my_socket = map.socket_of(thief);
+        let weights: Vec<u64> = (0..map.num_workers())
+            .map(|v| {
+                if v == thief {
+                    0
+                } else {
+                    let d = topo.distances().distance(my_socket, map.socket_of(v)) as u64;
+                    // weight ∝ LOCAL / distance, in fixed point.
+                    SCALE * u64::from(crate::DistanceMatrix::LOCAL) / d
+                }
+            })
+            .collect();
+        Self::from_weights(weights, thief)
+    }
+
+    fn from_weights(weights: Vec<u64>, thief: usize) -> Self {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0u64;
+        for &w in &weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0, "distribution must have positive total weight");
+        StealDistribution { cumulative, weights, thief }
+    }
+
+    /// Number of workers covered (including the thief, whose weight is 0).
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// The thief this distribution belongs to.
+    #[inline]
+    pub fn thief(&self) -> usize {
+        self.thief
+    }
+
+    /// The raw weight assigned to a victim (0 for the thief itself).
+    #[inline]
+    pub fn weight_of(&self, victim: usize) -> u64 {
+        self.weights[victim]
+    }
+
+    /// The probability of choosing `victim`, as a float (for tests/reports).
+    pub fn probability_of(&self, victim: usize) -> f64 {
+        self.weights[victim] as f64 / *self.cumulative.last().unwrap() as f64
+    }
+
+    /// Picks a victim from a uniformly random `u64`.
+    ///
+    /// The value is reduced modulo the total weight and located in the
+    /// cumulative table by binary search, so sampling is `O(log P)` and
+    /// never returns the thief.
+    pub fn sample(&self, random: u64) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let r = random % total;
+        // First index whose cumulative weight exceeds r.
+        match self.cumulative.binary_search(&r) {
+            // cumulative[i] == r means r falls in the *next* nonempty bucket.
+            Ok(i) => {
+                let mut j = i + 1;
+                while self.weights[j] == 0 {
+                    j += 1;
+                }
+                j
+            }
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{presets, Placement};
+
+    fn paper_setup(workers: usize) -> (Topology, WorkerMap) {
+        let topo = presets::paper_machine();
+        let map = Placement::Packed.assign(&topo, workers).unwrap();
+        (topo, map)
+    }
+
+    #[test]
+    fn uniform_never_picks_thief() {
+        let d = StealDistribution::uniform(8, 3);
+        for r in 0..1000u64 {
+            assert_ne!(d.sample(r.wrapping_mul(0x9E3779B97F4A7C15)), 3);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_victims() {
+        let d = StealDistribution::uniform(4, 0);
+        let mut seen = [false; 4];
+        for r in 0..64u64 {
+            seen[d.sample(r.wrapping_mul(0x2545F4914F6CDD1D))] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn biased_orders_tiers_correctly() {
+        let (topo, map) = paper_setup(32);
+        // Worker 0 is on socket 0; the ring is in index order 0-1-2-3-0, so
+        // sockets 1 and 3 are one hop away and socket 2 is two hops away.
+        let d = StealDistribution::biased(&topo, &map, 0);
+        let local = map.workers_of_place(crate::Place(0))[1];
+        let one_hop = map.workers_of_place(crate::Place(1))[0];
+        let two_hop = map.workers_of_place(crate::Place(2))[0];
+        assert!(d.weight_of(local) > d.weight_of(one_hop));
+        assert!(d.weight_of(one_hop) > d.weight_of(two_hop));
+        assert!(d.weight_of(two_hop) > 0, "most remote socket must stay reachable");
+    }
+
+    #[test]
+    fn biased_single_socket_equals_uniform() {
+        let (topo, map) = paper_setup(8); // all on socket 0
+        let b = StealDistribution::biased(&topo, &map, 2);
+        let u = StealDistribution::uniform(8, 2);
+        for v in 0..8 {
+            assert_eq!(
+                b.probability_of(v),
+                u.probability_of(v),
+                "victim {v} should be equally likely"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (topo, map) = paper_setup(32);
+        for thief in [0, 7, 15, 31] {
+            let d = StealDistribution::biased(&topo, &map, thief);
+            let sum: f64 = (0..32).map(|v| d.probability_of(v)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "thief {thief}: sum={sum}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_weights_empirically() {
+        let (topo, map) = paper_setup(32);
+        let d = StealDistribution::biased(&topo, &map, 0);
+        let mut counts = vec![0u64; 32];
+        let mut x = 0x853C49E6748FEA9Bu64;
+        let n = 200_000;
+        for _ in 0..n {
+            // splitmix64 stream
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            counts[d.sample(z ^ (z >> 31))] += 1;
+        }
+        for v in 0..32 {
+            let expected = d.probability_of(v);
+            let got = counts[v] as f64 / n as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "victim {v}: expected {expected:.4}, got {got:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimum_victim_probability_bounded_below() {
+        // Section IV needs every deque stolen-from with probability ≥ 1/(cP).
+        let (topo, map) = paper_setup(32);
+        let d = StealDistribution::biased(&topo, &map, 0);
+        let min_p = (0..32)
+            .filter(|&v| v != 0)
+            .map(|v| d.probability_of(v))
+            .fold(f64::INFINITY, f64::min);
+        // c works out to ~2.1 on the paper machine; assert a loose bound.
+        assert!(min_p >= 1.0 / (4.0 * 32.0), "min victim probability {min_p} too small");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two workers")]
+    fn lone_worker_rejected() {
+        StealDistribution::uniform(1, 0);
+    }
+
+    #[test]
+    fn two_workers_always_pick_the_other() {
+        let d = StealDistribution::uniform(2, 1);
+        for r in [0u64, 1, 17, u64::MAX] {
+            assert_eq!(d.sample(r), 0);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The §III-C data layout transformation (Figure 6): the same 8-way
+//! divide-and-conquer matmul on a row-major matrix vs the blocked Z-Morton
+//! layout, plus a visual of both layouts on an 8×8 example.
+//!
+//! Run: `cargo run --release --example matmul_layout`
+
+use numa_ws_repro::apps::matmul;
+use numa_ws_repro::layout::{zmorton, BlockedZ, Matrix};
+use numa_ws_repro::runtime::Pool;
+use std::time::Instant;
+
+fn main() {
+    // Figure 6a: cell-by-cell Z-Morton order of an 8x8 array.
+    println!("Figure 6a — Z-Morton (cell-by-cell):");
+    for r in 0..8u32 {
+        let row: Vec<String> =
+            (0..8).map(|c| format!("{:>2}", zmorton::encode(r, c))).collect();
+        println!("  {}", row.join(" "));
+    }
+    // Figure 6b: blocked Z-Morton with 4x4 blocks — position of each cell
+    // in the backing buffer.
+    println!("Figure 6b — blocked Z-Morton (4x4 blocks, row-major inside):");
+    let z = BlockedZ::from_matrix(&Matrix::from_fn(8, 8, |r, c| (r, c)), 4);
+    let mut pos = vec![vec![0usize; 8]; 8];
+    for (i, &(r, c)) in z.as_slice().iter().enumerate() {
+        pos[r][c] = i;
+    }
+    for row in &pos {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:>2}")).collect();
+        println!("  {}", cells.join(" "));
+    }
+
+    // Now the performance effect on matmul.
+    let params = matmul::Params { n: 768, block: 32 };
+    // 768/32 = 24 is not a power of two; round to 512 for the recursion.
+    let params = matmul::Params { n: 512, ..params };
+    let a = Matrix::from_fn(params.n, params.n, |i, j| ((i * 7 + j) % 13) as f64);
+    let b = Matrix::from_fn(params.n, params.n, |i, j| ((i + j * 3) % 11) as f64);
+
+    let workers = std::thread::available_parallelism().map_or(8, |n| n.get()).min(16);
+    let pool = Pool::builder().workers(workers).places(2.min(workers)).build().unwrap();
+
+    let mut c_rm = Matrix::zeros(params.n, params.n);
+    let t0 = Instant::now();
+    pool.install(|| matmul::mul_parallel(&a, &b, &mut c_rm, params));
+    let t_rm = t0.elapsed();
+
+    let za = BlockedZ::from_matrix(&a, params.block);
+    let zb = BlockedZ::from_matrix(&b, params.block);
+    let mut zc = BlockedZ::zeros(params.n, params.block);
+    let t0 = Instant::now();
+    pool.install(|| matmul::mul_blocked_parallel(&za, &zb, &mut zc, params));
+    let t_bz = t0.elapsed();
+
+    assert_eq!(zc.to_matrix(), c_rm, "layouts must agree on the product");
+    println!("\nmatmul   {0}x{0} row-major : {t_rm:.0?}", params.n);
+    println!("matmul-z {0}x{0} blocked-Z : {t_bz:.0?}", params.n);
+    println!(
+        "(paper: the transformation cut T1 from 190.9s to 73.6s on 4k matrices — base-case\n\
+         blocks become contiguous, prefetchable, and bindable to the computing socket)"
+    );
+}

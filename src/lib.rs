@@ -1,0 +1,46 @@
+//! Umbrella crate for the NUMA-WS reproduction.
+//!
+//! This crate re-exports every member of the workspace so that examples and
+//! integration tests can reach the whole system through a single dependency.
+//!
+//! The reproduction implements the platform described in *"A NUMA-Aware
+//! Provably-Efficient Task-Parallel Platform Based on the Work-First
+//! Principle"* (Deters, Wu, Xu, Lee — IISWC 2018):
+//!
+//! - [`runtime`] — the real threaded work-stealing runtime with virtual
+//!   places, locality-biased steals, single-entry mailboxes and lazy work
+//!   pushing ([`numa_ws`]).
+//! - [`sim`] — a discrete-event NUMA machine simulator that executes the
+//!   paper's Figure 2 (classic) and Figure 5 (NUMA-WS) scheduler pseudocode
+//!   over task DAGs with a cache/DRAM placement model ([`nws_sim`]).
+//! - [`topology`] — socket/core/place descriptions and distance matrices
+//!   ([`nws_topology`]).
+//! - [`layout`] — Z-Morton and blocked Z-Morton matrix layouts
+//!   ([`nws_layout`]).
+//! - [`apps`] — the seven paper benchmarks ([`nws_apps`]).
+//! - [`metrics`] — work/scheduling/idle breakdowns and table rendering
+//!   ([`nws_metrics`]).
+//! - [`deque`] — the Cilk-5 THE-protocol deque ([`nws_deque`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use numa_ws_repro::runtime::{Pool, SchedulerMode};
+//!
+//! let pool = Pool::builder()
+//!     .workers(4)
+//!     .places(2)
+//!     .mode(SchedulerMode::NumaWs)
+//!     .build()
+//!     .expect("pool construction");
+//! let (a, b) = pool.install(|| numa_ws::join(|| 1 + 1, || 2 + 2));
+//! assert_eq!((a, b), (2, 4));
+//! ```
+
+pub use numa_ws as runtime;
+pub use nws_apps as apps;
+pub use nws_deque as deque;
+pub use nws_layout as layout;
+pub use nws_metrics as metrics;
+pub use nws_sim as sim;
+pub use nws_topology as topology;
