@@ -81,13 +81,13 @@ impl Csr {
         let mut cols = Vec::new();
         let mut vals = Vec::new();
         row_ptr.push(0);
-        for r in 0..n {
-            entries[r].sort_by_key(|&(c, _)| c);
-            entries[r].dedup_by_key(|&mut (c, _)| c);
+        for (r, row) in entries.iter_mut().enumerate() {
+            row.sort_by_key(|&(c, _)| c);
+            row.dedup_by_key(|&mut (c, _)| c);
             // Dominant diagonal keeps A positive definite.
-            let off_sum: f64 = entries[r].iter().map(|&(_, v)| v.abs()).sum();
+            let off_sum: f64 = row.iter().map(|&(_, v)| v.abs()).sum();
             let mut inserted_diag = false;
-            for &(c, v) in &entries[r] {
+            for &(c, v) in row.iter() {
                 if c > r && !inserted_diag {
                     cols.push(r);
                     vals.push(off_sum + 1.0);
@@ -160,7 +160,15 @@ fn band_place(r0: usize, n: usize, places: usize) -> Place {
 
 /// Parallel SpMV: `y[r0..r1] = (A·x)[r0..r1]`, binary row split hinted at
 /// the band owning each half.
-fn par_spmv(a: &Csr, x: &[f64], y: &mut [f64], r0: usize, r1: usize, params: &Params, places: usize) {
+fn par_spmv(
+    a: &Csr,
+    x: &[f64],
+    y: &mut [f64],
+    r0: usize,
+    r1: usize,
+    params: &Params,
+    places: usize,
+) {
     if r1 - r0 <= params.rows_base {
         a.spmv_rows(x, y, r0, r1);
         return;
@@ -191,6 +199,7 @@ fn par_dot(a: &[f64], b: &[f64], base: usize, offset: usize, n: usize, places: u
 }
 
 /// Parallel `x += alpha * p; r -= alpha * q` fused update.
+#[allow(clippy::too_many_arguments)] // mirrors the banded-recursion signature of its siblings
 fn par_update(
     x: &mut [f64],
     p: &[f64],
@@ -222,7 +231,15 @@ fn par_update(
 }
 
 /// Parallel `p = r + beta * p`.
-fn par_pupdate(p: &mut [f64], r: &[f64], beta: f64, base: usize, offset: usize, n: usize, places: usize) {
+fn par_pupdate(
+    p: &mut [f64],
+    r: &[f64],
+    beta: f64,
+    base: usize,
+    offset: usize,
+    n: usize,
+    places: usize,
+) {
     if p.len() <= base {
         for i in 0..p.len() {
             p[i] = r[i] + beta * p[i];
@@ -287,9 +304,9 @@ struct DagCtx {
     places: usize,
 }
 
-/// Builds the simulator DAG for cg: `iters` chained phases of SpMV + dots
-/// + AXPYs; `A` and the vectors are band-bound, SpMV leaves gather from
-/// the whole `p` vector (the irregular NUMA traffic).
+/// Builds the simulator DAG for cg: `iters` chained phases of
+/// SpMV + dots + AXPYs; `A` and the vectors are band-bound, SpMV leaves
+/// gather from the whole `p` vector (the irregular NUMA traffic).
 pub fn dag(params: Params, places: usize) -> Dag {
     let places = places.max(1);
     let n = params.n as u64;
@@ -347,7 +364,10 @@ fn build_spmv(b: &mut DagBuilder, ctx: &DagCtx, r0: u64, r1: u64) -> FrameId {
     if r1 - r0 <= ctx.rows_base {
         let a_pages = pages_for(ctx.n * ctx.nnz * 12, 1);
         let a_start = r0 * ctx.nnz * 12 / 4096;
-        let a_len = ((r1 - r0) * ctx.nnz * 12).div_ceil(4096).max(1).min(a_pages - a_start.min(a_pages - 1));
+        let a_len = ((r1 - r0) * ctx.nnz * 12)
+            .div_ceil(4096)
+            .max(1)
+            .min(a_pages - a_start.min(a_pages - 1));
         let vp = vec_pages(ctx);
         let rows = r1 - r0;
         let strand = Strand {

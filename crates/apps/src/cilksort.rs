@@ -174,10 +174,7 @@ fn sort_rec(data: &mut [u64], tmp: &mut [u64], base: usize) {
         let (d1, rest) = data.split_at(q);
         let (d2, rest) = rest.split_at(q);
         let (d3, d4) = rest.split_at(q);
-        numa_ws::join(
-            || merge_parallel(d1, d2, t12, base),
-            || merge_parallel(d3, d4, t34, base),
-        );
+        numa_ws::join(|| merge_parallel(d1, d2, t12, base), || merge_parallel(d3, d4, t34, base));
     }
     let (t1, t2) = tmp.split_at(h);
     merge_parallel(t1, t2, data, base);
@@ -202,10 +199,7 @@ fn merge_parallel(a: &[u64], b: &[u64], out: &mut [u64], base: usize) {
     let (a1, a2) = a.split_at(ma);
     let (b1, b2) = b.split_at(mb);
     let (o1, o2) = out.split_at_mut(ma + mb);
-    numa_ws::join(
-        || merge_parallel(a1, b1, o1, base),
-        || merge_parallel(a2, b2, o2, base),
-    );
+    numa_ws::join(|| merge_parallel(a1, b1, o1, base), || merge_parallel(a2, b2, o2, base));
 }
 
 // ---------------------------------------------------------------------------
@@ -269,10 +263,7 @@ fn build_sort(
     if n <= ctx.sort_base {
         return b
             .frame(place)
-            .strand(Strand {
-                cycles: sort_leaf_cycles(n),
-                touches: vec![touch(ctx.array, lo, n)],
-            })
+            .strand(Strand { cycles: sort_leaf_cycles(n), touches: vec![touch(ctx.array, lo, n)] })
             .finish();
     }
     let q = n / 4;
@@ -308,7 +299,14 @@ fn build_sort(
 /// A parallel-merge subtree producing `n` keys at `array[lo..lo+n]` (or
 /// into tmp when `to_array` is false; the traffic is symmetric, so both
 /// arrays are touched either way).
-fn build_merge(b: &mut DagBuilder, ctx: &DagCtx, lo: u64, n: u64, place: Place, to_array: bool) -> FrameId {
+fn build_merge(
+    b: &mut DagBuilder,
+    ctx: &DagCtx,
+    lo: u64,
+    n: u64,
+    place: Place,
+    to_array: bool,
+) -> FrameId {
     if n <= ctx.merge_base {
         let (src, dst) = if to_array { (ctx.tmp, ctx.array) } else { (ctx.array, ctx.tmp) };
         return b

@@ -128,8 +128,7 @@ fn filter_parallel(a: Point, b: Point, pts: &[Point], base: usize) -> Vec<Point>
         return pts.iter().copied().filter(|&p| cross(a, b, p) > 0.0).collect();
     }
     let (l, r) = pts.split_at(pts.len() / 2);
-    let (mut vl, vr) =
-        join(|| filter_parallel(a, b, l, base), || filter_parallel(a, b, r, base));
+    let (mut vl, vr) = join(|| filter_parallel(a, b, l, base), || filter_parallel(a, b, r, base));
     vl.extend_from_slice(&vr);
     vl
 }
@@ -143,8 +142,7 @@ fn farthest_parallel(a: Point, b: Point, pts: &[Point], base: usize) -> Point {
             .unwrap();
     }
     let (l, r) = pts.split_at(pts.len() / 2);
-    let (p1, p2) =
-        join(|| farthest_parallel(a, b, l, base), || farthest_parallel(a, b, r, base));
+    let (p1, p2) = join(|| farthest_parallel(a, b, l, base), || farthest_parallel(a, b, r, base));
     if cross(a, b, p1) >= cross(a, b, p2) {
         p1
     } else {
@@ -162,10 +160,8 @@ fn rec_parallel(a: Point, b: Point, pts: &[Point], base: usize, depth: usize) ->
         return out;
     }
     let far = farthest_parallel(a, b, pts, base);
-    let (left, right) = join(
-        || filter_parallel(a, far, pts, base),
-        || filter_parallel(far, b, pts, base),
-    );
+    let (left, right) =
+        join(|| filter_parallel(a, far, pts, base), || filter_parallel(far, b, pts, base));
     // Alternate hint places down the recursion to spread the two flanks
     // (top levels dominate; deeper levels inherit).
     let (mut out_l, out_r) = join_at(
@@ -185,10 +181,8 @@ pub fn hull_parallel(pts: &[Point], params: Params) -> Vec<Point> {
     assert!(pts.len() >= 2, "hull needs at least two points");
     let base = params.base;
     let (lo, hi) = extremes_parallel(pts, base);
-    let (above, below) = join(
-        || filter_parallel(lo, hi, pts, base),
-        || filter_parallel(hi, lo, pts, base),
-    );
+    let (above, below) =
+        join(|| filter_parallel(lo, hi, pts, base), || filter_parallel(hi, lo, pts, base));
     let (mut upper, lower) = join_at(
         || rec_parallel(lo, hi, &above, base, 0),
         || rec_parallel(hi, lo, &below, base, 2),
@@ -251,8 +245,8 @@ pub fn dag(params: Params, places: usize, dataset: Dataset) -> Dag {
     let pack1 = build_scan(&mut b, &ctx, 0, n, 6, Scatter::Global, Place::ANY);
     let pack2 = build_scan(&mut b, &ctx, 0, n, 6, Scatter::Global, Place::ANY);
     let surv0 = survivors(&ctx, n);
-    let flank1 = build_rec(&mut b, &ctx, 0, surv0, 1);
-    let flank2 = build_rec(&mut b, &ctx, n / 2, surv0, 1);
+    let flank1 = build_rec(&mut b, &ctx, 0, surv0);
+    let flank2 = build_rec(&mut b, &ctx, n / 2, surv0);
     let root = b
         .frame(Place(0))
         .spawn(reduce)
@@ -325,12 +319,7 @@ fn build_scan(
             }
             Scatter::Segment => {
                 // Recursion packs write within their own segment's window.
-                touches.push(Touch {
-                    region: ctx.scratch,
-                    start_page,
-                    pages,
-                    lines_per_page: 64,
-                });
+                touches.push(Touch { region: ctx.scratch, start_page, pages, lines_per_page: 64 });
             }
         }
         return b
@@ -345,9 +334,11 @@ fn build_scan(
 
 /// One recursion level: farthest-reduce + two packs over the segment, then
 /// two child segments of `survivors` size.
-fn build_rec(b: &mut DagBuilder, ctx: &DagCtx, lo: u64, len: u64, depth: u64) -> FrameId {
-    let place = Place(((lo * ctx.places as u64) / (ctx.total_pages * 256).max(1))
-        .min(ctx.places as u64 - 1) as usize);
+fn build_rec(b: &mut DagBuilder, ctx: &DagCtx, lo: u64, len: u64) -> FrameId {
+    let place = Place(
+        ((lo * ctx.places as u64) / (ctx.total_pages * 256).max(1)).min(ctx.places as u64 - 1)
+            as usize,
+    );
     if len <= ctx.base {
         // Sequential tail: a few passes over the small segment.
         let start_page = (lo * 16 / 4096).min(ctx.total_pages - 1);
@@ -364,8 +355,8 @@ fn build_rec(b: &mut DagBuilder, ctx: &DagCtx, lo: u64, len: u64, depth: u64) ->
     let pack1 = build_scan(b, ctx, lo, len, 6, Scatter::Segment, place);
     let pack2 = build_scan(b, ctx, lo, len, 6, Scatter::Segment, place);
     let child_len = survivors(ctx, len).max(ctx.base / 2);
-    let c1 = build_rec(b, ctx, lo, child_len, depth + 1);
-    let c2 = build_rec(b, ctx, lo + len / 2, child_len, depth + 1);
+    let c1 = build_rec(b, ctx, lo, child_len);
+    let c2 = build_rec(b, ctx, lo + len / 2, child_len);
     b.frame(place)
         .spawn(reduce)
         .sync()
@@ -385,10 +376,8 @@ mod tests {
     use numa_ws::Pool;
 
     fn hull_set(h: &[Point]) -> Vec<(i64, i64)> {
-        let mut v: Vec<(i64, i64)> = h
-            .iter()
-            .map(|p| ((p.x * 1e9).round() as i64, (p.y * 1e9).round() as i64))
-            .collect();
+        let mut v: Vec<(i64, i64)> =
+            h.iter().map(|p| ((p.x * 1e9).round() as i64, (p.y * 1e9).round() as i64)).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -397,10 +386,8 @@ mod tests {
     /// O(n^2) oracle: a point is on the hull iff it is extreme for some
     /// half-plane — use gift wrapping for small inputs.
     fn gift_wrap(pts: &[Point]) -> Vec<Point> {
-        let start = *pts
-            .iter()
-            .min_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap())
-            .unwrap();
+        let start =
+            *pts.iter().min_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap()).unwrap();
         let mut hull = vec![start];
         let mut cur = start;
         loop {

@@ -46,7 +46,10 @@ impl Params {
     }
 
     fn validate(&self) {
-        assert!(self.block > 0 && self.n % self.block == 0, "n must be a multiple of block");
+        assert!(
+            self.block > 0 && self.n.is_multiple_of(self.block),
+            "n must be a multiple of block"
+        );
         assert!(
             (self.n / self.block).is_power_of_two(),
             "n/block must be a power of two for quadrant recursion"
@@ -129,12 +132,9 @@ fn mul_rec(a: View, b: View, c: MutView, n: usize, block: usize, parallel: bool)
     }
     let h = n / 2;
     // SAFETY: quadrant offsets stay inside the n x n rectangle.
-    let (a11, a12, a21, a22) =
-        unsafe { (a.quad(0, 0), a.quad(0, h), a.quad(h, 0), a.quad(h, h)) };
-    let (b11, b12, b21, b22) =
-        unsafe { (b.quad(0, 0), b.quad(0, h), b.quad(h, 0), b.quad(h, h)) };
-    let (c11, c12, c21, c22) =
-        unsafe { (c.quad(0, 0), c.quad(0, h), c.quad(h, 0), c.quad(h, h)) };
+    let (a11, a12, a21, a22) = unsafe { (a.quad(0, 0), a.quad(0, h), a.quad(h, 0), a.quad(h, h)) };
+    let (b11, b12, b21, b22) = unsafe { (b.quad(0, 0), b.quad(0, h), b.quad(h, 0), b.quad(h, h)) };
+    let (c11, c12, c21, c22) = unsafe { (c.quad(0, 0), c.quad(0, h), c.quad(h, 0), c.quad(h, h)) };
     if parallel {
         // Phase 1: four products into the four disjoint C quadrants.
         join4(
@@ -163,7 +163,12 @@ fn mul_rec(a: View, b: View, c: MutView, n: usize, block: usize, parallel: bool)
     }
 }
 
-fn views<'a>(a: &'a Matrix<f64>, b: &'a Matrix<f64>, c: &'a mut Matrix<f64>, p: Params) -> (View, View, MutView) {
+fn views<'a>(
+    a: &'a Matrix<f64>,
+    b: &'a Matrix<f64>,
+    c: &'a mut Matrix<f64>,
+    p: Params,
+) -> (View, View, MutView) {
     p.validate();
     assert_eq!(a.rows(), p.n, "A shape");
     assert_eq!(b.rows(), p.n, "B shape");
@@ -252,7 +257,12 @@ fn check_blocked(a: &BlockedZ<f64>, b: &BlockedZ<f64>, c: &BlockedZ<f64>, p: Par
 
 /// Serial elision of `matmul-z`: `c += a · b` on blocked Z-Morton
 /// matrices.
-pub fn mul_blocked_serial(a: &BlockedZ<f64>, b: &BlockedZ<f64>, c: &mut BlockedZ<f64>, params: Params) {
+pub fn mul_blocked_serial(
+    a: &BlockedZ<f64>,
+    b: &BlockedZ<f64>,
+    c: &mut BlockedZ<f64>,
+    params: Params,
+) {
     check_blocked(a, b, c, params);
     let n = params.n;
     blocked_rec(a.as_slice(), b.as_slice(), c.as_mut_slice(), n, params.block, false);
@@ -350,11 +360,8 @@ fn tile_touches(ctx: &DagCtx, region: RegionId, row: u64, col: u64, out: &mut Ve
 /// `C[i,j] += A[i,k] * B[k,j]` quadrant recursion over tile coordinates.
 fn build_mul(bd: &mut DagBuilder, ctx: &DagCtx, i: u64, j: u64, k: u64, n: u64) -> FrameId {
     if n == ctx.block {
-        let mut touches = Vec::with_capacity(if ctx.layout == Layout::RowMajor {
-            3 * n as usize
-        } else {
-            3
-        });
+        let mut touches =
+            Vec::with_capacity(if ctx.layout == Layout::RowMajor { 3 * n as usize } else { 3 });
         tile_touches(ctx, ctx.a, i, k, &mut touches);
         tile_touches(ctx, ctx.b, k, j, &mut touches);
         tile_touches(ctx, ctx.c, i, j, &mut touches);

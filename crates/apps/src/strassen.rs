@@ -221,7 +221,7 @@ pub fn mul_blocked_parallel(a: &BlockedZ<f64>, b: &BlockedZ<f64>, params: Params
 /// increases in overall T1, because we are not getting the O(n^lg7) work
 /// at the top level" — so the paper ships the hint-free version instead.
 /// This implementation exists to reproduce that trade-off
-/// (`cargo run -p nws-bench --bin ablation -- top8`).
+/// (`cargo run -p nws_bench --bin ablation -- top8`).
 pub fn mul_top8_parallel(
     a: &BlockedZ<f64>,
     b: &BlockedZ<f64>,
@@ -342,7 +342,7 @@ fn quarter_touch(ctx: &DagCtx, region: RegionId, row: u64, col: u64, n: u64, out
     // Touch the n x n tile at (row, col) of `region`.
     match ctx.layout {
         Layout::RowMajor => {
-            let lines = (n * 8).div_ceil(64).max(1).min(64);
+            let lines = (n * 8).div_ceil(64).clamp(1, 64);
             // One page run per row (bounded: collapse to at most 32 runs).
             let step = (n / 32).max(1);
             for r in (row..row + n).step_by(step as usize) {
@@ -376,25 +376,21 @@ fn build(bd: &mut DagBuilder, ctx: &DagCtx, row: u64, col: u64, n: u64, depth: u
         quarter_touch(ctx, ctx.a, row, col, n, &mut touches);
         quarter_touch(ctx, ctx.b, row, col, n, &mut touches);
         quarter_touch(ctx, ctx.c, row, col, n, &mut touches);
-        return bd
-            .frame(Place::ANY)
-            .strand(Strand { cycles: n * n * n + n * n, touches })
-            .finish();
+        return bd.frame(Place::ANY).strand(Strand { cycles: n * n * n + n * n, touches }).finish();
     }
     let h = n / 2;
     // Seven recursive products; their tile coordinates follow the operand
     // quadrants (approximated by the four quadrant corners cycling).
     let corners = [(0, 0), (0, h), (h, 0), (h, h), (0, 0), (h, h), (0, h)];
-    let children: Vec<FrameId> = corners
-        .iter()
-        .map(|&(dr, dc)| build(bd, ctx, row + dr, col + dc, h, depth + 1))
-        .collect();
+    let children: Vec<FrameId> =
+        corners.iter().map(|&(dr, dc)| build(bd, ctx, row + dr, col + dc, h, depth + 1)).collect();
     // Additions before and after: ~15 quarter-size elementwise passes over
     // freshly allocated temporaries, which land wherever the allocator put
     // them — decorrelate the window from the computing socket.
     let temps_total = pages_for(5 * ctx.n * ctx.n, 8);
     let temp_pages = pages_for(h * h, 8).min(temps_total);
-    let salt = (row.wrapping_mul(0x9E37_79B9) ^ col.wrapping_mul(0x85EB_CA6B) ^ depth) % temps_total;
+    let salt =
+        (row.wrapping_mul(0x9E37_79B9) ^ col.wrapping_mul(0x85EB_CA6B) ^ depth) % temps_total;
     let add_strand = move |mult: u64| Strand {
         cycles: mult * h * h,
         touches: vec![Touch {

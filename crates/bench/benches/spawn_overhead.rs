@@ -36,9 +36,7 @@ fn bench_work_efficiency(c: &mut Criterion) {
     let mut g = c.benchmark_group("work_efficiency_fib30");
     // black_box the *input* so the compiler cannot constant-fold the
     // serial recursion away.
-    g.bench_function("TS_serial_elision", |b| {
-        b.iter(|| fib_serial(std::hint::black_box(30)))
-    });
+    g.bench_function("TS_serial_elision", |b| b.iter(|| fib_serial(std::hint::black_box(30))));
     let pool1 = Pool::builder().workers(1).stats(false).build().unwrap();
     g.bench_function("T1_coarsened", |b| {
         b.iter(|| pool1.install(|| fib_coarse(std::hint::black_box(30))))

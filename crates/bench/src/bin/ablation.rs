@@ -2,7 +2,7 @@
 //! §IV): mailbox capacity, pushing threshold, the coin flip, biased victim
 //! selection, and locality hints.
 //!
-//! Run: `cargo run --release -p nws-bench --bin ablation [-- <name>]`
+//! Run: `cargo run --release -p nws_bench --bin ablation [-- <name>]`
 //! where `<name>` is one of `mailbox`, `threshold`, `coinflip`, `bias`,
 //! `hints` (default: all).
 
@@ -160,17 +160,18 @@ fn top8() {
     println!("== Ablation: strassen vs the top-eight-way hinted variant (§V-A) ==");
     println!("(the paper tried hinting strassen by doing 8-way D&C at the top level;");
     println!(" it reduced inflation but cost ~15% more T1, so they kept the plain version)\n");
-    use nws_apps::strassen;
     use nws_apps::matmul::Layout;
+    use nws_apps::strassen;
     let topo = machine();
     let p = strassen::Params::sim();
-    let mut t =
-        nws_metrics::Table::new(vec!["variant", "T1 (kcyc)", "T32 (kcyc)", "inflation"]);
+    let mut t = nws_metrics::Table::new(vec!["variant", "T1 (kcyc)", "T32 (kcyc)", "inflation"]);
     let plain = strassen::dag(p, Layout::BlockedZ);
     let plain1 = strassen::dag(p, Layout::BlockedZ);
     let eight = strassen::dag_top8(p, Layout::BlockedZ, 4);
     let eight1 = strassen::dag_top8(p, Layout::BlockedZ, 1);
-    for (name, dag, dag1) in [("strassen-z (7-way)", &plain, &plain1), ("top-eight-way", &eight, &eight1)] {
+    for (name, dag, dag1) in
+        [("strassen-z (7-way)", &plain, &plain1), ("top-eight-way", &eight, &eight1)]
+    {
         let t1 = Simulation::new(&topo, SimConfig::numa_ws(1), dag1).expect("fits").run().makespan;
         let r = Simulation::new(&topo, SimConfig::numa_ws(32), dag).expect("fits").run();
         t.row(vec![

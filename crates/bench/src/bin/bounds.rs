@@ -1,7 +1,7 @@
 //! Empirically checks the §IV theory on synthetic DAGs: execution time
 //! `T_P ≤ T1/P + O(T∞)` and steals `O(P·T∞)`, for both schedulers.
 //!
-//! Run: `cargo run --release -p nws-bench --bin bounds`
+//! Run: `cargo run --release -p nws_bench --bin bounds`
 
 use nws_sim::{DagBuilder, SchedulerKind, SimConfig, Simulation, Strand};
 use nws_topology::Place;
@@ -47,7 +47,15 @@ fn main() {
     let topo = nws_topology::presets::paper_machine();
     println!("Section IV bounds check: T_P vs T1/P + c*T_inf, steals vs c*P*T_inf\n");
     let mut table = nws_metrics::Table::new(vec![
-        "dag", "sched", "P", "T1/P+Tinf", "T_P", "ratio", "steals", "P*Tinf/1k", "steal-ratio",
+        "dag",
+        "sched",
+        "P",
+        "T1/P+Tinf",
+        "T_P",
+        "ratio",
+        "steals",
+        "P*Tinf/1k",
+        "steal-ratio",
     ]);
     let dags: Vec<(&str, nws_sim::Dag)> = vec![
         ("tree-4k", tree(4096, 2_000)),

@@ -2,7 +2,7 @@
 //! benchmark on the classic (Cilk Plus) scheduler, normalized to `TS`, at
 //! P=1 and P=32, with the P=32 bar split into work / scheduling / idle.
 //!
-//! Run: `cargo run --release -p nws-bench --bin fig3`
+//! Run: `cargo run --release -p nws_bench --bin fig3`
 
 use nws_bench::{measure, BenchId};
 use nws_sim::SchedulerKind;
@@ -10,14 +10,8 @@ use nws_sim::SchedulerKind;
 fn main() {
     println!("Figure 3: normalized total processing time on the classic scheduler");
     println!("(each value = total processing time / TS; P=32 split into work+sched+idle)\n");
-    let mut table = nws_metrics::Table::new(vec![
-        "benchmark",
-        "P=1",
-        "P=32 total",
-        "work",
-        "sched",
-        "idle",
-    ]);
+    let mut table =
+        nws_metrics::Table::new(vec!["benchmark", "P=1", "P=32 total", "work", "sched", "idle"]);
     for bench in BenchId::fig3() {
         let m = measure(bench, SchedulerKind::Classic, 32, 42);
         let ts = m.ts as f64;

@@ -2,7 +2,7 @@
 //! benchmark on both platforms, with spawn overhead (`T1/TS`) and
 //! scalability (`T1/T32`) in parentheses.
 //!
-//! Run: `cargo run --release -p nws-bench --bin fig7`
+//! Run: `cargo run --release -p nws_bench --bin fig7`
 //! Host-scale work-efficiency check: `... --bin fig7 -- --real`
 
 use nws_bench::{measure, secs, BenchId};
@@ -44,8 +44,8 @@ fn main() {
 /// reports TS, T1 and T_P wall-clock for each benchmark — the
 /// work-efficiency claim (`T1/TS ≈ 1`) on real hardware.
 fn real_mode() {
-    use nws_apps::{cg, cilksort, heat, hull, matmul, strassen};
     use numa_ws::{Pool, SchedulerMode};
+    use nws_apps::{cg, cilksort, heat, hull, matmul, strassen};
     use std::time::Instant;
 
     let host = std::thread::available_parallelism().map_or(8, |n| n.get()).min(24);
@@ -74,7 +74,7 @@ fn real_mode() {
             .build()
             .expect("pool");
         let t0 = Instant::now();
-        pool.install(move || f());
+        pool.install(f);
         t0.elapsed().as_secs_f64()
     };
 
@@ -97,9 +97,8 @@ fn real_mode() {
         ] {
             let mut d = data.clone();
             let mut tmp = vec![0u64; d.len()];
-            let t = pool_t(mode, workers, &mut || {
-                cilksort::sort_parallel(&mut d, &mut tmp, p, places)
-            });
+            let t =
+                pool_t(mode, workers, &mut || cilksort::sort_parallel(&mut d, &mut tmp, p, places));
             row.push(format!("{t:.2} ({:.2}x)", if workers == 1 { t / ts } else { ts / t }));
         }
         table.row(row);
@@ -159,7 +158,8 @@ fn real_mode() {
             (SchedulerMode::NumaWs, host),
         ] {
             let mut zc = nws_layout::BlockedZ::zeros(p.n, p.block);
-            let t = pool_t(mode, workers, &mut || matmul::mul_blocked_parallel(&za, &zb, &mut zc, p));
+            let t =
+                pool_t(mode, workers, &mut || matmul::mul_blocked_parallel(&za, &zb, &mut zc, p));
             row.push(format!("{t:.2} ({:.2}x)", if workers == 1 { t / ts } else { ts / t }));
         }
         table.row(row);
@@ -236,5 +236,7 @@ fn real_mode() {
     }
 
     println!("{table}");
-    println!("(T1 parentheses: spawn overhead T1/TS — the work-efficiency claim; TP: speedup TS/TP)");
+    println!(
+        "(T1 parentheses: spawn overhead T1/TS — the work-efficiency claim; TP: speedup TS/TP)"
+    );
 }

@@ -1,7 +1,7 @@
 //! Regenerates the paper's **Figure 8** table: `T1`, `W32`, `S32`, `I32`
 //! per platform, with work inflation (`W32/T1`) in parentheses.
 //!
-//! Run: `cargo run --release -p nws-bench --bin fig8`
+//! Run: `cargo run --release -p nws_bench --bin fig8`
 
 use nws_bench::{measure, secs, BenchId};
 use nws_sim::SchedulerKind;

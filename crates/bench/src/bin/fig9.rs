@@ -2,7 +2,7 @@
 //! function of the core count, with workers packed onto the smallest number
 //! of sockets (for 24 cores, 3 sockets).
 //!
-//! Run: `cargo run --release -p nws-bench --bin fig9`
+//! Run: `cargo run --release -p nws_bench --bin fig9`
 
 use nws_bench::{measure, BenchId};
 use nws_sim::SchedulerKind;
@@ -44,7 +44,5 @@ fn main() {
             println!("{name:>10}: speedup dips at {}", drops.join(", "));
         }
     }
-    println!(
-        "\npaper (Fig 9): all curves rise smoothly; hull1 visibly degrades past one socket."
-    );
+    println!("\npaper (Fig 9): all curves rise smoothly; hull1 visibly degrades past one socket.");
 }

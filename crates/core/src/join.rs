@@ -69,9 +69,8 @@ where
     RA: Send,
     RB: Send,
 {
-    let worker = WorkerThread::current().expect(
-        "numa_ws::join must be called from within a pool; enter one with Pool::install",
-    );
+    let worker = WorkerThread::current()
+        .expect("numa_ws::join must be called from within a pool; enter one with Pool::install");
     join_on_worker(worker, a, b, place)
 }
 
@@ -153,11 +152,8 @@ where
     RC: Send,
     RD: Send,
 {
-    let ((ra, rb), (rc, rd)) = join_at(
-        move || join_at(a, b, places[1]),
-        move || join_at(c, d, places[3]),
-        places[2],
-    );
+    let ((ra, rb), (rc, rd)) =
+        join_at(move || join_at(a, b, places[1]), move || join_at(c, d, places[3]), places[2]);
     (ra, rb, rc, rd)
 }
 

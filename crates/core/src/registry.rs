@@ -263,6 +263,9 @@ impl WorkerThread {
         let dist = self.registry.dists[self.index].as_ref()?;
         let victim = dist.sample(self.next_random());
         bump!(self.stats(), steal_attempts);
+        if self.registry.map.socket_of(victim) != self.registry.map.socket_of(self.index) {
+            bump!(self.stats(), remote_steal_attempts);
+        }
 
         if self.registry.mode == SchedulerMode::NumaWs {
             // Coin flip between the victim's deque and its mailbox.

@@ -29,6 +29,7 @@ pub(crate) struct WorkerStats {
     pub idle_ns: AtomicU64,
     pub spawns: AtomicU64,
     pub steal_attempts: AtomicU64,
+    pub remote_steal_attempts: AtomicU64,
     pub steals: AtomicU64,
     pub remote_steals: AtomicU64,
     pub stolen_from: AtomicU64,
@@ -62,6 +63,7 @@ impl WorkerStats {
             idle_ns: self.idle_ns.load(Relaxed),
             spawns: self.spawns.load(Relaxed),
             steal_attempts: self.steal_attempts.load(Relaxed),
+            remote_steal_attempts: self.remote_steal_attempts.load(Relaxed),
             steals: self.steals.load(Relaxed),
             remote_steals: self.remote_steals.load(Relaxed),
             stolen_from: self.stolen_from.load(Relaxed),
@@ -78,6 +80,7 @@ impl WorkerStats {
         self.idle_ns.store(0, Relaxed);
         self.spawns.store(0, Relaxed);
         self.steal_attempts.store(0, Relaxed);
+        self.remote_steal_attempts.store(0, Relaxed);
         self.steals.store(0, Relaxed);
         self.remote_steals.store(0, Relaxed);
         self.stolen_from.store(0, Relaxed);
@@ -101,6 +104,11 @@ pub struct WorkerStatsSnapshot {
     pub spawns: u64,
     /// Steal attempts made by this worker.
     pub steal_attempts: u64,
+    /// Steal attempts that targeted a victim on another socket. The ratio
+    /// to `steal_attempts` mirrors the victim distribution directly
+    /// (uniform under Classic, distance-biased under NUMA-WS), unlike
+    /// successful-steal ratios, which are confounded by who has work.
+    pub remote_steal_attempts: u64,
     /// Successful deque steals by this worker.
     pub steals: u64,
     /// Successful steals from victims on another socket.
@@ -150,6 +158,16 @@ impl PoolStats {
         self.workers.iter().map(|w| w.remote_steals).sum()
     }
 
+    /// Total steal attempts.
+    pub fn total_steal_attempts(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_attempts).sum()
+    }
+
+    /// Total steal attempts that targeted another socket.
+    pub fn total_remote_steal_attempts(&self) -> u64 {
+        self.workers.iter().map(|w| w.remote_steal_attempts).sum()
+    }
+
     /// Total mailbox deliveries.
     pub fn total_push_deliveries(&self) -> u64 {
         self.workers.iter().map(|w| w.push_deliveries).sum()
@@ -172,7 +190,11 @@ pub(crate) struct Clock {
 
 impl Clock {
     pub(crate) fn new(enabled: bool, cat: Category) -> Self {
-        Clock { enabled, last: std::cell::Cell::new(Instant::now()), cat: std::cell::Cell::new(cat) }
+        Clock {
+            enabled,
+            last: std::cell::Cell::new(Instant::now()),
+            cat: std::cell::Cell::new(cat),
+        }
     }
 
     /// Switches category, attributing elapsed time to the previous one.
@@ -221,8 +243,20 @@ mod tests {
     fn pool_stats_totals() {
         let stats = PoolStats {
             workers: vec![
-                WorkerStatsSnapshot { work_ns: 10, sched_ns: 1, idle_ns: 2, steals: 1, ..Default::default() },
-                WorkerStatsSnapshot { work_ns: 20, sched_ns: 3, idle_ns: 4, steals: 2, ..Default::default() },
+                WorkerStatsSnapshot {
+                    work_ns: 10,
+                    sched_ns: 1,
+                    idle_ns: 2,
+                    steals: 1,
+                    ..Default::default()
+                },
+                WorkerStatsSnapshot {
+                    work_ns: 20,
+                    sched_ns: 3,
+                    idle_ns: 4,
+                    steals: 2,
+                    ..Default::default()
+                },
             ],
         };
         assert_eq!(stats.total_work_ns(), 30);

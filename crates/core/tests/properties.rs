@@ -18,10 +18,16 @@ fn expr() -> impl Strategy<Value = Expr> {
     let leaf = any::<u64>().prop_map(Expr::Leaf);
     leaf.prop_recursive(6, 64, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), any::<u8>())
-                .prop_map(|(a, b, p)| Expr::Add(Box::new(a), Box::new(b), p)),
-            (inner.clone(), inner, any::<u8>())
-                .prop_map(|(a, b, p)| Expr::Mul(Box::new(a), Box::new(b), p)),
+            (inner.clone(), inner.clone(), any::<u8>()).prop_map(|(a, b, p)| Expr::Add(
+                Box::new(a),
+                Box::new(b),
+                p
+            )),
+            (inner.clone(), inner, any::<u8>()).prop_map(|(a, b, p)| Expr::Mul(
+                Box::new(a),
+                Box::new(b),
+                p
+            )),
         ]
     })
 }

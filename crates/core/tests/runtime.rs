@@ -55,10 +55,14 @@ fn join4_at_runs_all_branches() {
 
 #[test]
 fn steals_happen_under_load() {
+    // Sized so the workload spans many OS scheduler quanta even on a
+    // single-core host: release builds chew through fib(22) in ~1ms,
+    // before napping thieves ever get a slice, so give them fib(28) there.
+    let n = if cfg!(debug_assertions) { 22 } else { 28 };
     let pool = Pool::builder().workers(8).places(2).build().unwrap();
-    pool.install(|| fib(22));
+    pool.install(|| fib(n));
     let stats = pool.stats();
-    assert!(stats.total_steals() > 0, "8 workers on fib(22) must steal: {stats:?}");
+    assert!(stats.total_steals() > 0, "8 workers on fib({n}) must steal: {stats:?}");
     assert!(stats.total_spawns() > 10_000);
 }
 
@@ -159,10 +163,7 @@ fn work_time_dominates_for_compute_bound_job() {
     let work = stats.total_work_ns();
     let sched = stats.total_sched_ns();
     assert!(work > 0);
-    assert!(
-        sched < work / 2,
-        "scheduling time {sched}ns should be far below work {work}ns"
-    );
+    assert!(sched < work / 2, "scheduling time {sched}ns should be far below work {work}ns");
 }
 
 #[test]
@@ -211,8 +212,10 @@ fn hints_wrap_modulo_places() {
 
 #[test]
 fn remote_steals_counted_on_multi_place_pool() {
+    // See steals_happen_under_load for the debug/release sizing rationale.
+    let n = if cfg!(debug_assertions) { 24 } else { 29 };
     let pool = Pool::builder().workers(8).places(4).mode(SchedulerMode::Classic).build().unwrap();
-    pool.install(|| fib(24));
+    pool.install(|| fib(n));
     let stats = pool.stats();
     assert!(
         stats.total_remote_steals() > 0,
@@ -222,9 +225,12 @@ fn remote_steals_counted_on_multi_place_pool() {
 
 #[test]
 fn biased_mode_prefers_local_steals() {
-    // With 4 places and plenty of stealing, NUMA-WS should show a lower
-    // remote-steal share than Classic. This is statistical but heavily
-    // biased (weights 1 : 0.48 : 0.32), so the margin is wide.
+    // With 4 places, NUMA-WS must target local victims far more often than
+    // Classic. Compare the remote share of steal *attempts*: attempts
+    // mirror the victim distribution directly (uniform vs distance-biased),
+    // whereas successful-steal ratios are confounded by which victims
+    // happen to hold work and are too noisy at the ~100-steal scale of a
+    // unit test.
     fn run(mode: SchedulerMode) -> (u64, u64) {
         let pool = Pool::builder()
             .workers(8)
@@ -234,18 +240,26 @@ fn biased_mode_prefers_local_steals() {
             .seed(1234)
             .build()
             .unwrap();
-        pool.install(|| fib(26));
+        for _ in 0..4 {
+            pool.install(|| fib(23));
+        }
         let s = pool.stats();
-        (s.total_remote_steals(), s.total_steals())
+        (s.total_remote_steal_attempts(), s.total_steal_attempts())
     }
     let (classic_remote, classic_total) = run(SchedulerMode::Classic);
     let (numa_remote, numa_total) = run(SchedulerMode::NumaWs);
-    let classic_share = classic_remote as f64 / classic_total.max(1) as f64;
-    let numa_share = numa_remote as f64 / numa_total.max(1) as f64;
+    assert!(classic_total > 100, "expected real stealing pressure: {classic_total} attempts");
+    assert!(numa_total > 100, "expected real stealing pressure: {numa_total} attempts");
+    let classic_share = classic_remote as f64 / classic_total as f64;
+    let numa_share = numa_remote as f64 / numa_total as f64;
+    // Uniform stealing over 7 victims (6 remote) sits at 6/7 ≈ 0.857; the
+    // paper-machine bias puts NUMA-WS well below. Require a real gap, not
+    // just an inequality, so regressions in the bias cannot hide in noise.
     assert!(
-        numa_share < classic_share,
-        "NUMA-WS remote share {numa_share:.3} should beat classic {classic_share:.3} \
-         (remote/total: numa {numa_remote}/{numa_total}, classic {classic_remote}/{classic_total})"
+        numa_share < classic_share - 0.05,
+        "NUMA-WS remote attempt share {numa_share:.3} should sit well below classic \
+         {classic_share:.3} (remote/total: numa {numa_remote}/{numa_total}, \
+         classic {classic_remote}/{classic_total})"
     );
 }
 

@@ -142,10 +142,7 @@ pub fn the_deque<T>(capacity: usize) -> (TheWorker<T>, TheStealer<T>) {
         buf,
         mask: cap - 1,
     });
-    (
-        TheWorker { inner: Arc::clone(&inner), _not_sync: PhantomData },
-        TheStealer { inner },
-    )
+    (TheWorker { inner: Arc::clone(&inner), _not_sync: PhantomData }, TheStealer { inner })
 }
 
 impl<T> TheWorker<T> {
@@ -324,7 +321,7 @@ mod tests {
         let mut model = std::collections::VecDeque::new();
         for round in 0..1000u32 {
             match round % 5 {
-                0 | 1 | 2 => {
+                0..=2 => {
                     w.push(round).unwrap();
                     model.push_back(round);
                 }
@@ -389,7 +386,7 @@ mod tests {
                     }
                 }
                 // Interleave owner pops to exercise the conflict path.
-                if next % 7 == 0 {
+                if next.is_multiple_of(7) {
                     if let Some(v) = w.pop() {
                         popped.push(v);
                     }

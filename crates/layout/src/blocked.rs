@@ -34,19 +34,17 @@ impl<T: Clone + Default> BlockedZ<T> {
     /// `n / block` is not a power of two.
     pub fn zeros(n: usize, block: usize) -> Self {
         Self::validate(n, block);
-        BlockedZ {
-            n,
-            block,
-            blocks_per_side: n / block,
-            data: vec![T::default(); n * n],
-        }
+        BlockedZ { n, block, blocks_per_side: n / block, data: vec![T::default(); n * n] }
     }
 }
 
 impl<T> BlockedZ<T> {
     fn validate(n: usize, block: usize) {
         assert!(block > 0, "block size must be positive");
-        assert!(n > 0 && n % block == 0, "matrix side must be a positive multiple of block");
+        assert!(
+            n > 0 && n.is_multiple_of(block),
+            "matrix side must be a positive multiple of block"
+        );
         let bps = n / block;
         assert!(bps.is_power_of_two(), "blocks per side must be a power of two");
     }
@@ -261,8 +259,7 @@ mod tests {
         let m = Matrix::from_fn(8, 8, |r, c| r * 8 + c);
         let z = BlockedZ::from_matrix(&m, 4);
         let blk = z.block(1, 1); // bottom-right block
-        let expect: Vec<usize> =
-            (4..8).flat_map(|r| (4..8).map(move |c| r * 8 + c)).collect();
+        let expect: Vec<usize> = (4..8).flat_map(|r| (4..8).map(move |c| r * 8 + c)).collect();
         assert_eq!(blk, &expect[..]);
     }
 

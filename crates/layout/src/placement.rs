@@ -29,8 +29,7 @@ impl BlockPlacement {
     pub fn contiguous(num_blocks: usize, places: usize) -> Self {
         assert!(places > 0, "need at least one place");
         assert!(num_blocks > 0, "need at least one block");
-        let assignments =
-            (0..num_blocks).map(|b| Place(b * places / num_blocks)).collect();
+        let assignments = (0..num_blocks).map(|b| Place(b * places / num_blocks)).collect();
         BlockPlacement { assignments }
     }
 
@@ -57,15 +56,10 @@ impl BlockPlacement {
     /// power of two.
     pub fn z_quadrants(blocks_per_side: usize, places: usize) -> Self {
         assert!(places > 0, "need at least one place");
-        assert!(
-            blocks_per_side.is_power_of_two(),
-            "blocks per side must be a power of two"
-        );
+        assert!(blocks_per_side.is_power_of_two(), "blocks per side must be a power of two");
         let total = blocks_per_side * blocks_per_side;
         let quarter = (total / 4).max(1);
-        let assignments = (0..total)
-            .map(|z| Place((z / quarter).min(3) % places))
-            .collect();
+        let assignments = (0..total).map(|z| Place((z / quarter).min(3) % places)).collect();
         BlockPlacement { assignments }
     }
 

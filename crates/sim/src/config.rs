@@ -185,7 +185,8 @@ mod tests {
 
     #[test]
     fn builders_override() {
-        let c = SimConfig::numa_ws(8).with_seed(42).with_placement(Placement::Spread { sockets: 4 });
+        let c =
+            SimConfig::numa_ws(8).with_seed(42).with_placement(Placement::Spread { sockets: 4 });
         assert_eq!(c.seed, 42);
         assert_eq!(c.placement, Placement::Spread { sockets: 4 });
     }

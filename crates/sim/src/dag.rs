@@ -113,12 +113,7 @@ impl DagBuilder {
     pub fn alloc(&mut self, name: impl Into<String>, pages: u64, policy: PagePolicy) -> RegionId {
         assert!(pages > 0, "region must have at least one page");
         let id = RegionId(self.regions.len());
-        self.regions.push(Region {
-            name: name.into(),
-            first_page: self.next_page,
-            pages,
-            policy,
-        });
+        self.regions.push(Region { name: name.into(), first_page: self.next_page, pages, policy });
         self.next_page += pages;
         id
     }

@@ -72,9 +72,7 @@ impl<'a> Simulation<'a> {
     /// overhead (no deque pushes/pops, no sync checks) — exactly the
     /// paper's definition of the elision baseline.
     pub fn serial_elision(topo: &Topology, cfg: &SimConfig, dag: &Dag) -> u64 {
-        let map = nws_topology::Placement::Packed
-            .assign(topo, 1)
-            .expect("one worker always fits");
+        let map = nws_topology::Placement::Packed.assign(topo, 1).expect("one worker always fits");
         let mut mem = MemorySystem::new(
             topo,
             &map,
@@ -178,7 +176,9 @@ impl<'a> Engine<'a> {
             deques: (0..p).map(|_| VecDeque::new()).collect(),
             mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
             rngs: (0..p)
-                .map(|w| SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x9E3779B97F4A7C15)))
+                .map(|w| {
+                    SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                })
                 .collect(),
             dists,
             join: vec![0; dag.num_frames()],
@@ -214,12 +214,7 @@ impl<'a> Engine<'a> {
                 }
             })
             .collect();
-        SimReport {
-            makespan,
-            workers,
-            counters: self.counters,
-            class_lines: self.mem.class_lines,
-        }
+        SimReport { makespan, workers, counters: self.counters, class_lines: self.mem.class_lines }
     }
 
     fn my_place(&self, w: usize) -> Place {
@@ -237,9 +232,7 @@ impl<'a> Engine<'a> {
     }
 
     fn distance(&self, a: usize, b: usize) -> u64 {
-        self.topo
-            .distances()
-            .distance(self.map.socket_of(a), self.map.socket_of(b)) as u64
+        self.topo.distances().distance(self.map.socket_of(a), self.map.socket_of(b)) as u64
     }
 
     fn step(&mut self, w: usize) {
@@ -314,12 +307,7 @@ impl<'a> Engine<'a> {
             self.done_at = Some(self.clocks[w]);
             return;
         }
-        let parent = self
-            .dag
-            .frame(FrameId(frame))
-            .parent
-            .expect("non-root frame has a parent")
-            .0;
+        let parent = self.dag.frame(FrameId(frame)).parent.expect("non-root frame has a parent").0;
         self.join[parent] -= 1;
         if let Some((pf, pstep)) = self.deques[w].pop_back() {
             // Parent not stolen: resume it (Fig 2 l.3-5). The tail entry is
@@ -372,8 +360,8 @@ impl<'a> Engine<'a> {
             return false;
         }
         let place = self.place_of_frame(cont.0);
-        let place_idx = place.index().expect("foreign frame has a concrete place")
-            % self.map.num_places();
+        let place_idx =
+            place.index().expect("foreign frame has a concrete place") % self.map.num_places();
         let candidates: Vec<usize> = self.map.workers_of_place(Place(place_idx)).to_vec();
         if candidates.is_empty() {
             return false;
@@ -410,13 +398,11 @@ impl<'a> Engine<'a> {
             self.states[w] = WState::Exec { frame: cont.0, step: cont.1 };
             return;
         }
-        let dist = self.dists[w]
-            .as_ref()
-            .expect("a lone worker never enters the scheduling loop")
-            .clone();
+        let dist =
+            self.dists[w].as_ref().expect("a lone worker never enters the scheduling loop").clone();
         let victim = dist.sample(self.rngs[w].next_u64());
-        let probe_cost =
-            self.cfg.costs.steal_base + self.cfg.costs.steal_per_distance * self.distance(w, victim);
+        let probe_cost = self.cfg.costs.steal_base
+            + self.cfg.costs.steal_per_distance * self.distance(w, victim);
         self.counters.steal_attempts += 1;
 
         // Coin flip between deque and mailbox (Fig 5 / §III-B).
@@ -632,7 +618,8 @@ mod tests {
                     .finish();
             }
             let l = subtree(b, place, data, first, pages / 2, leaves / 2);
-            let r = subtree(b, place, data, first + pages / 2, pages - pages / 2, leaves - leaves / 2);
+            let r =
+                subtree(b, place, data, first + pages / 2, pages - pages / 2, leaves - leaves / 2);
             b.frame(Place(place)).spawn(l).spawn(r).sync().finish()
         }
         let build = |hinted: bool| {
@@ -699,11 +686,7 @@ mod tests {
             // constants to keep the test robust while still meaningful.
             let t1 = dag.work() as f64 + dag.num_spawns() as f64 * 11.0;
             let bound = 2.0 * t1 / p as f64 + 2000.0 * dag.span() as f64;
-            assert!(
-                (r.makespan as f64) < bound,
-                "P={p}: makespan {} exceeds {bound}",
-                r.makespan
-            );
+            assert!((r.makespan as f64) < bound, "P={p}: makespan {} exceeds {bound}", r.makespan);
         }
     }
 
@@ -723,8 +706,10 @@ mod tests {
         let topo = presets::paper_machine();
         let r = Simulation::new(&topo, SimConfig::numa_ws(8), &dag).unwrap().run();
         for w in &r.workers {
-            assert!(w.work + w.sched + w.idle >= r.makespan,
-                "per-worker times must cover the makespan");
+            assert!(
+                w.work + w.sched + w.idle >= r.makespan,
+                "per-worker times must cover the makespan"
+            );
         }
     }
 }

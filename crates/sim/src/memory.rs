@@ -254,12 +254,7 @@ impl Touch {
     pub fn bytes(region: RegionId, offset: u64, bytes: u64) -> Self {
         let start_page = offset / PAGE_BYTES;
         let end_page = (offset + bytes).div_ceil(PAGE_BYTES).max(start_page + 1);
-        Touch {
-            region,
-            start_page,
-            pages: end_page - start_page,
-            lines_per_page: LINES_PER_PAGE,
-        }
+        Touch { region, start_page, pages: end_page - start_page, lines_per_page: LINES_PER_PAGE }
     }
 }
 
@@ -320,9 +315,9 @@ impl MemorySystem {
         }
         let n_sockets = topo.num_sockets();
         let mut dist = vec![vec![0u32; n_sockets]; n_sockets];
-        for a in 0..n_sockets {
-            for b in 0..n_sockets {
-                dist[a][b] = topo.distances().distance(SocketId(a), SocketId(b));
+        for (a, row) in dist.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
+                *cell = topo.distances().distance(SocketId(a), SocketId(b));
             }
         }
         MemorySystem {

@@ -25,12 +25,7 @@ fn recipe() -> impl Strategy<Value = Recipe> {
 }
 
 fn build(recipe: &Recipe) -> nws_sim::Dag {
-    fn rec(
-        b: &mut DagBuilder,
-        recipe: &Recipe,
-        depth: usize,
-        idx: &mut usize,
-    ) -> FrameId {
+    fn rec(b: &mut DagBuilder, recipe: &Recipe, depth: usize, idx: &mut usize) -> FrameId {
         let place = match recipe.places[*idx % recipe.places.len()] {
             4 => Place::ANY,
             p => Place(p as usize),
@@ -40,8 +35,7 @@ fn build(recipe: &Recipe) -> nws_sim::Dag {
             return b.leaf(place, Strand::compute(recipe.leaf_cycles));
         }
         let n = recipe.fanouts[depth] as usize;
-        let children: Vec<FrameId> =
-            (0..n).map(|_| rec(b, recipe, depth + 1, idx)).collect();
+        let children: Vec<FrameId> = (0..n).map(|_| rec(b, recipe, depth + 1, idx)).collect();
         let mut fb = b.frame(place).compute(recipe.leaf_cycles / 4);
         for c in children {
             fb = fb.spawn(c);

@@ -139,11 +139,7 @@ pub fn detect_from(root: &Path) -> Result<Topology, DetectError> {
     let matrix = std::panic::catch_unwind(|| DistanceMatrix::from_rows(n, flat))
         .map_err(|_| DetectError::Parse("distance matrix asymmetric or bad diagonal".into()))?;
 
-    Ok(Topology::builder()
-        .sockets(n)
-        .cores_per_socket(cores)
-        .distances(matrix)
-        .build()?)
+    Ok(Topology::builder().sockets(n).cores_per_socket(cores).distances(matrix).build()?)
 }
 
 /// Parses a sysfs cpulist like `0-3,8-11,16` into cpu ids.
@@ -183,10 +179,8 @@ mod tests {
 
     impl TempTree {
         fn new(name: &str) -> Self {
-            let dir = std::env::temp_dir().join(format!(
-                "nws-detect-{name}-{}",
-                std::process::id()
-            ));
+            let dir =
+                std::env::temp_dir().join(format!("nws-detect-{name}-{}", std::process::id()));
             let _ = fs::remove_dir_all(&dir);
             fs::create_dir_all(&dir).unwrap();
             TempTree(dir)

@@ -31,10 +31,10 @@
 
 #![warn(missing_docs)]
 
+pub mod detect;
 mod distance;
 mod ids;
 mod placement;
-pub mod detect;
 pub mod presets;
 mod steal;
 mod topology;

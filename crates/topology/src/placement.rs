@@ -98,13 +98,7 @@ impl Placement {
             places.push(Place(s));
             workers_per_place[s].push(w);
         }
-        Ok(WorkerMap {
-            cores,
-            sockets,
-            places,
-            num_places: sockets_used,
-            workers_per_place,
-        })
+        Ok(WorkerMap { cores, sockets, places, num_places: sockets_used, workers_per_place })
     }
 }
 

@@ -217,9 +217,9 @@ mod tests {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
             counts[d.sample(z ^ (z >> 31))] += 1;
         }
-        for v in 0..32 {
+        for (v, &count) in counts.iter().enumerate() {
             let expected = d.probability_of(v);
-            let got = counts[v] as f64 / n as f64;
+            let got = count as f64 / n as f64;
             assert!(
                 (got - expected).abs() < 0.01,
                 "victim {v}: expected {expected:.4}, got {got:.4}"
@@ -232,10 +232,8 @@ mod tests {
         // Section IV needs every deque stolen-from with probability ≥ 1/(cP).
         let (topo, map) = paper_setup(32);
         let d = StealDistribution::biased(&topo, &map, 0);
-        let min_p = (0..32)
-            .filter(|&v| v != 0)
-            .map(|v| d.probability_of(v))
-            .fold(f64::INFINITY, f64::min);
+        let min_p =
+            (0..32).filter(|&v| v != 0).map(|v| d.probability_of(v)).fold(f64::INFINITY, f64::min);
         // c works out to ~2.1 on the paper machine; assert a loose bound.
         assert!(min_p >= 1.0 / (4.0 * 32.0), "min victim probability {min_p} too small");
     }

@@ -36,10 +36,9 @@ impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopologyError::Empty => write!(f, "topology must have at least one core"),
-            TopologyError::DistanceMismatch { sockets, matrix } => write!(
-                f,
-                "distance matrix describes {matrix} sockets but topology has {sockets}"
-            ),
+            TopologyError::DistanceMismatch { sockets, matrix } => {
+                write!(f, "distance matrix describes {matrix} sockets but topology has {sockets}")
+            }
             TopologyError::TooManyWorkers { requested, available } => {
                 write!(f, "requested {requested} workers but machine has {available} cores")
             }
@@ -134,10 +133,7 @@ impl fmt::Display for Topology {
             self.num_cores()
         )?;
         for s in 0..self.sockets {
-            let cores: Vec<String> = self
-                .cores_of(SocketId(s))
-                .map(|c| c.0.to_string())
-                .collect();
+            let cores: Vec<String> = self.cores_of(SocketId(s)).map(|c| c.0.to_string()).collect();
             writeln!(f, "  socket{s}: cores [{}]", cores.join(", "))?;
         }
         writeln!(f, "node distances:")?;
@@ -170,11 +166,7 @@ pub struct TopologyBuilder {
 
 impl Default for TopologyBuilder {
     fn default() -> Self {
-        TopologyBuilder {
-            sockets: 1,
-            cores_per_socket: 8,
-            distances: None,
-        }
+        TopologyBuilder { sockets: 1, cores_per_socket: 8, distances: None }
     }
 }
 
@@ -221,11 +213,7 @@ impl TopologyBuilder {
             }
             None => DistanceMatrix::uniform(self.sockets, 21),
         };
-        Ok(Topology {
-            sockets: self.sockets,
-            cores_per_socket: self.cores_per_socket,
-            distances,
-        })
+        Ok(Topology { sockets: self.sockets, cores_per_socket: self.cores_per_socket, distances })
     }
 }
 
@@ -242,11 +230,7 @@ mod tests {
 
     #[test]
     fn socket_of_is_socket_major() {
-        let t = Topology::builder()
-            .sockets(4)
-            .cores_per_socket(8)
-            .build()
-            .unwrap();
+        let t = Topology::builder().sockets(4).cores_per_socket(8).build().unwrap();
         assert_eq!(t.socket_of(CoreId(0)), SocketId(0));
         assert_eq!(t.socket_of(CoreId(7)), SocketId(0));
         assert_eq!(t.socket_of(CoreId(8)), SocketId(1));
@@ -255,11 +239,7 @@ mod tests {
 
     #[test]
     fn cores_of_enumerates_socket() {
-        let t = Topology::builder()
-            .sockets(2)
-            .cores_per_socket(3)
-            .build()
-            .unwrap();
+        let t = Topology::builder().sockets(2).cores_per_socket(3).build().unwrap();
         let cores: Vec<usize> = t.cores_of(SocketId(1)).map(|c| c.0).collect();
         assert_eq!(cores, vec![3, 4, 5]);
     }

@@ -31,8 +31,7 @@ fn main() {
         let diff = numa_ws_repro::apps::common::max_abs_diff(&reference, &grid);
         assert!(diff < 1e-12, "parallel grid diverged: {diff}");
         let stats = pool.stats();
-        let remote_share =
-            stats.total_remote_steals() as f64 / stats.total_steals().max(1) as f64;
+        let remote_share = stats.total_remote_steals() as f64 / stats.total_steals().max(1) as f64;
         println!(
             "{mode:>8}: {} steps on {}x{} in {:.0?}; steals {} (remote share {:.2}), \
              mailbox deliveries {}",
@@ -46,6 +45,6 @@ fn main() {
         );
     }
     println!("\n(on this non-NUMA container both modes run at similar speed; the remote-steal");
-    println!(" share shows the NUMA-WS protocol at work — see nws-bench fig7/fig8 for the");
+    println!(" share shows the NUMA-WS protocol at work — see nws_bench fig7/fig8 for the");
     println!(" simulated four-socket machine where the locality difference becomes time)");
 }

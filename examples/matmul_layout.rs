@@ -13,8 +13,7 @@ fn main() {
     // Figure 6a: cell-by-cell Z-Morton order of an 8x8 array.
     println!("Figure 6a — Z-Morton (cell-by-cell):");
     for r in 0..8u32 {
-        let row: Vec<String> =
-            (0..8).map(|c| format!("{:>2}", zmorton::encode(r, c))).collect();
+        let row: Vec<String> = (0..8).map(|c| format!("{:>2}", zmorton::encode(r, c))).collect();
         println!("  {}", row.join(" "));
     }
     // Figure 6b: blocked Z-Morton with 4x4 blocks — position of each cell

@@ -18,11 +18,7 @@ fn main() {
     let dist = StealDistribution::biased(&topo, &map, 0);
     println!("victim probabilities for worker 0 (socket 0):");
     for v in [4usize, 1, 2, 3] {
-        println!(
-            "  worker {v:>2} on {}: {:.3}",
-            map.socket_of(v),
-            dist.probability_of(v)
-        );
+        println!("  worker {v:>2} on {}: {:.3}", map.socket_of(v), dist.probability_of(v));
     }
 
     // One heat run per scheduler on the simulated machine.

@@ -25,7 +25,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use numa_ws_repro::runtime::{Pool, SchedulerMode};
+//! use numa_ws_repro::runtime::{self, Pool, SchedulerMode};
 //!
 //! let pool = Pool::builder()
 //!     .workers(4)
@@ -33,7 +33,7 @@
 //!     .mode(SchedulerMode::NumaWs)
 //!     .build()
 //!     .expect("pool construction");
-//! let (a, b) = pool.install(|| numa_ws::join(|| 1 + 1, || 2 + 2));
+//! let (a, b) = pool.install(|| runtime::join(|| 1 + 1, || 2 + 2));
 //! assert_eq!((a, b), (2, 4));
 //! ```
 

@@ -1,6 +1,16 @@
 //! End-to-end checks of the paper's central claims on the simulated
 //! four-socket machine, at test scale (smaller inputs than the figure
 //! harness, same structure).
+//!
+//! Threshold audit (first real run of this suite): the simulator is
+//! deterministic per seed and every input here is seeded, so these
+//! assertions are exactly reproducible — no statistical slack is needed.
+//! The whole suite runs in ~6 s in a debug build (~1 s in release), well
+//! under the tier-1 budget, so none of the cases needs `#[ignore]`. If a
+//! future change pushes an input size up, prefer shrinking the input back
+//! to marking the test `#[ignore]`: these eight assertions are the claims
+//! the reproduction exists to check. Full-scale (paper-sized) runs live in
+//! the figure harnesses: `cargo run --release -p nws_bench --bin fig8`.
 
 use numa_ws_repro::apps::{cg, cilksort, heat, hull, matmul};
 use numa_ws_repro::sim::{SchedulerKind, SimConfig, Simulation};
@@ -61,10 +71,7 @@ fn matmul_is_unharmed_by_numa_ws() {
     let tc = Simulation::new(&topo, SimConfig::classic(32), &dag).unwrap().run().makespan;
     let tn = Simulation::new(&topo, SimConfig::numa_ws(32), &dag).unwrap().run().makespan;
     let ratio = tn as f64 / tc as f64;
-    assert!(
-        ratio < 1.15,
-        "NUMA-WS must not slow matmul by more than noise: T32 ratio {ratio:.3}"
-    );
+    assert!(ratio < 1.15, "NUMA-WS must not slow matmul by more than noise: T32 ratio {ratio:.3}");
 }
 
 #[test]
@@ -72,7 +79,7 @@ fn hull_inflates_and_numa_ws_helps_both_datasets() {
     // Paper: both hull inputs inflate substantially under classic work
     // stealing, and NUMA-WS recovers part of it. (The paper's *relative*
     // ordering between hull1 and hull2 emerges at full simulator scale —
-    // see `cargo run -p nws-bench --bin fig8`; at test scale only the
+    // see `cargo run -p nws_bench --bin fig8`; at test scale only the
     // direction is stable.)
     let p = hull::Params { n: 1 << 18, base: 1 << 11 };
     for ds in [hull::Dataset::InDisk, hull::Dataset::OnCircle] {
@@ -111,10 +118,7 @@ fn layout_transformation_helps_serial_time() {
     let cfg = SimConfig::classic(1);
     let ts_rm = Simulation::serial_elision(&topo, &cfg, &matmul::dag(p, matmul::Layout::RowMajor));
     let ts_bz = Simulation::serial_elision(&topo, &cfg, &matmul::dag(p, matmul::Layout::BlockedZ));
-    assert!(
-        ts_bz < ts_rm,
-        "blocked Z-Morton must beat row-major serially: {ts_bz} vs {ts_rm}"
-    );
+    assert!(ts_bz < ts_rm, "blocked Z-Morton must beat row-major serially: {ts_bz} vs {ts_rm}");
 }
 
 #[test]
@@ -123,9 +127,7 @@ fn simulation_is_deterministic_per_seed() {
     let p = heat::Params { rows: 512, cols: 512, steps: 3, rows_base: 8 };
     let dag = heat::dag(p, 4);
     let run = |seed| {
-        let r = Simulation::new(&topo, SimConfig::numa_ws(16).with_seed(seed), &dag)
-            .unwrap()
-            .run();
+        let r = Simulation::new(&topo, SimConfig::numa_ws(16).with_seed(seed), &dag).unwrap().run();
         (r.makespan, r.counters)
     };
     assert_eq!(run(7), run(7), "same seed, same run");

@@ -49,10 +49,8 @@ fn all_benchmarks_correct_on_both_modes() {
             let hs = hull::hull_serial(&pts);
             let hp = pool.install(|| hull::hull_parallel(&pts, p));
             let norm = |h: &[common::Point]| {
-                let mut v: Vec<(i64, i64)> = h
-                    .iter()
-                    .map(|q| ((q.x * 1e9) as i64, (q.y * 1e9) as i64))
-                    .collect();
+                let mut v: Vec<(i64, i64)> =
+                    h.iter().map(|q| ((q.x * 1e9) as i64, (q.y * 1e9) as i64)).collect();
                 v.sort_unstable();
                 v.dedup();
                 v

@@ -1,0 +1,86 @@
+//! Vendored stand-in for the `crossbeam-deque` crate.
+//!
+//! Only the benchmark suite touches this crate, as the "industry-standard
+//! Chase-Lev" baseline to compare the THE-protocol deque against. Without
+//! crates.io access we cannot link the real lock-free implementation, so
+//! this is an honest mutex-backed queue with the same `Worker`/`Stealer`
+//! API. Benchmark reports must treat the `crossbeam_chase_lev` series as a
+//! lower bound on the real crate's performance (see DESIGN.md §2).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Owner side of the deque: pushes and pops at the back (LIFO).
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Thief side of the deque: steals from the front (FIFO).
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Result of a steal attempt, mirroring crossbeam's three-way outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was empty.
+    Empty,
+    /// A value was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Worker<T> {
+    /// Creates a new LIFO worker queue.
+    pub fn new_lifo() -> Self {
+        Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Pushes a value onto the back of the queue.
+    pub fn push(&self, value: T) {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).push_back(value);
+    }
+
+    /// Pops the most recently pushed value.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).pop_back()
+    }
+
+    /// Creates a stealer handle for this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest value from the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().unwrap_or_else(PoisonError::into_inner).pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+}

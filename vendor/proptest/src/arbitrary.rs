@@ -1,0 +1,70 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    /// Draws one uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_lossless)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any { _marker: PhantomData }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: PhantomData }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_domain_edges_eventually() {
+        let mut rng = TestRng::from_seed(9);
+        let s = any::<u8>();
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() > 250);
+    }
+}

@@ -1,0 +1,267 @@
+//! Value-generation strategies: the [`Strategy`] trait and its composers.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map: f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for the
+    /// substructure and returns a strategy for one more level. `depth`
+    /// bounds the recursion; the remaining two parameters (desired size and
+    /// expected branch factor) are accepted for API compatibility but
+    /// unused by this simplified implementation.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            // At each additional level, generation flips between bottoming
+            // out (the base case) and recursing one level deeper; the 2:1
+            // bias toward recursion keeps trees from degenerating to leaves.
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![(1, base.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Arc::new(self) }
+    }
+}
+
+/// Object-safe view of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Weighted choice between type-erased strategies (the engine behind
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; every weight must be positive and there must be at
+    /// least one arm.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone(), total_weight: self.total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strat) in &self.arms {
+            if pick < *weight as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("pick exceeded total weight");
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let width = (end as i128 - start as i128) as u64 + 1;
+                (start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = (3u32..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (-2i64..=2).generate(&mut rng);
+            assert!((-2..=2).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let mut rng = TestRng::from_seed(2);
+        let s = crate::prop_oneof![
+            2 => (0u8..4).prop_map(|v| v as u32),
+            1 => Just(100u32),
+        ];
+        let mut saw_just = false;
+        let mut saw_range = false;
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                100 => saw_just = true,
+                v if v < 4 => saw_range = true,
+                v => panic!("unexpected value {v}"),
+            }
+        }
+        assert!(saw_just && saw_range);
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = Just(()).prop_map(|_| Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..50 {
+            assert!(depth(&s.generate(&mut rng)) <= 4);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations on report/config types — nothing actually serializes yet
+//! (table rendering in `nws_metrics` is hand-written). With no crates.io
+//! access, this crate supplies marker traits that are blanket-implemented
+//! for every type, and [`serde_derive`] supplies matching no-op derives.
+//! Any future `T: Serialize` bound is therefore satisfied; the day real
+//! serialization is needed, point `[workspace.dependencies]` back at the
+//! real crate and everything keeps compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for serde's `Serialize` trait.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for serde's `Deserialize` trait.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for serde's `DeserializeOwned` convenience trait.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for serde's `de` module, re-exporting [`DeserializeOwned`] at
+/// its canonical path.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

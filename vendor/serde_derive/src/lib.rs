@@ -1,0 +1,23 @@
+//! Vendored stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The vendored `serde` crate blanket-implements its marker `Serialize` /
+//! `Deserialize` traits for every type, so these derives have nothing to
+//! generate: they exist purely so that `#[derive(Serialize, Deserialize)]`
+//! positions in the workspace keep compiling unchanged. If the real serde is
+//! restored in `[workspace.dependencies]`, this crate drops out with it.
+
+use proc_macro::TokenStream;
+
+/// No-op derive: the blanket impl in the vendored `serde` already covers
+/// the deriving type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive: the blanket impl in the vendored `serde` already covers
+/// the deriving type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
