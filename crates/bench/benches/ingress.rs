@@ -1,0 +1,65 @@
+//! External-ingress microbenchmarks: the latency of a blocking `install`
+//! round-trip against pools in different states, and fire-and-forget
+//! `spawn` burst throughput. The interesting comparison is `install` on an
+//! *idle* pool (the full sleep→wake→execute→latch path; before the wake
+//! layer this paid up to a 50µs blind nap) versus on a pool kept *hot* by
+//! back-to-back requests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numa_ws::{Place, Pool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn bench_install_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingress_install");
+    let pool = Pool::builder().workers(4).places(2).stats(false).build().unwrap();
+
+    // Hot pool: requests arrive back to back, workers rarely deep-sleep.
+    g.bench_function("roundtrip_hot", |b| b.iter(|| pool.install(|| std::hint::black_box(1) + 1)));
+
+    // Idle pool: force every worker past its backoff into deep sleep
+    // before each request, so the measurement includes the wake-up.
+    g.bench_function("roundtrip_after_idle", |b| {
+        b.iter(|| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            pool.install(|| std::hint::black_box(1) + 1)
+        })
+    });
+
+    // Place-targeted ingress (the service sharding path).
+    g.bench_function("roundtrip_install_at", |b| {
+        b.iter(|| pool.install_at(Place(1), || std::hint::black_box(1) + 1))
+    });
+    g.finish();
+}
+
+fn bench_spawn_burst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingress_spawn");
+    let pool = Pool::builder().workers(4).places(2).stats(false).build().unwrap();
+    const BURST: usize = 64;
+
+    // A burst of fire-and-forget jobs, waiting until all have run: ingress
+    // enqueue throughput plus wake fan-out across the pool.
+    g.bench_function("burst64_submit_to_done", |b| {
+        b.iter(|| {
+            let done = Arc::new(AtomicUsize::new(0));
+            for i in 0..BURST {
+                let done = Arc::clone(&done);
+                pool.spawn_at(Place(i % 2), move || {
+                    done.fetch_add(1, Ordering::Release);
+                });
+            }
+            while done.load(Ordering::Acquire) < BURST {
+                std::hint::spin_loop();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_install_roundtrip, bench_spawn_burst
+}
+criterion_main!(benches);

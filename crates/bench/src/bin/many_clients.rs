@@ -1,0 +1,84 @@
+//! Many-clients ingress throughput harness: N client threads hammer one
+//! pool with blocking `install` requests (plus a fire-and-forget `spawn`
+//! per request), the service-shaped workload the per-place ingress
+//! subsystem exists for. Reports request throughput and the ingress/wake
+//! counters for several pool shapes.
+//!
+//! Run: `cargo run --release -p nws_bench --bin many_clients`
+
+use numa_ws::{join, Place, Pool, SchedulerMode};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One "request": a small parallel reduction, big enough to fork a few
+/// times but far smaller than a batch job — the regime where ingress
+/// latency, not steady-state stealing, dominates.
+fn request(xs: &[u64]) -> u64 {
+    if xs.len() <= 512 {
+        return xs.iter().sum();
+    }
+    let (lo, hi) = xs.split_at(xs.len() / 2);
+    let (a, b) = join(|| request(lo), || request(hi));
+    a + b
+}
+
+fn run(workers: usize, places: usize, clients: usize, requests: usize) -> (f64, u64, u64) {
+    let pool = Arc::new(
+        Pool::builder()
+            .workers(workers)
+            .places(places)
+            .mode(SchedulerMode::NumaWs)
+            .build()
+            .expect("pool"),
+    );
+    let xs: Arc<Vec<u64>> = Arc::new((0..16_384).collect());
+    let expect: u64 = xs.iter().sum();
+    let acks = Arc::new(AtomicUsize::new(0));
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (pool, xs, acks) = (Arc::clone(&pool), Arc::clone(&xs), Arc::clone(&acks));
+            s.spawn(move || {
+                for _ in 0..requests {
+                    let got = pool.install_at(Place(c), || request(&xs));
+                    assert_eq!(got, expect);
+                    let acks = Arc::clone(&acks);
+                    pool.spawn(move || {
+                        acks.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    while acks.load(Ordering::Relaxed) < clients * requests {
+        std::thread::yield_now();
+    }
+    let elapsed = start.elapsed();
+    let stats = pool.stats();
+    let rps = (clients * requests) as f64 / elapsed.as_secs_f64();
+    (rps, stats.total_injector_takes(), stats.total_wakeups())
+}
+
+fn main() {
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 200;
+    println!("Many-clients ingress throughput: {CLIENTS} clients x {REQUESTS} requests");
+    println!("(each request = one blocking install_at + one fire-and-forget spawn)\n");
+    let mut table =
+        nws_metrics::Table::new(vec!["workers", "places", "req/s", "injector takes", "wakeups"]);
+    for (workers, places) in [(2, 1), (4, 2), (8, 4)] {
+        let (rps, takes, wakeups) = run(workers, places, CLIENTS, REQUESTS);
+        table.row(vec![
+            workers.to_string(),
+            places.to_string(),
+            format!("{rps:.0}"),
+            takes.to_string(),
+            wakeups.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("takes = 2 x clients x requests (every ingress job is taken exactly once);");
+    println!("wakeups grow with idle<->busy transitions, not with throughput.");
+}

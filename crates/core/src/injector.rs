@@ -1,0 +1,156 @@
+//! Per-place external ingress queues.
+//!
+//! External threads enter the pool through these queues ([`Pool::install`],
+//! [`Pool::install_at`], [`Pool::spawn`], [`Pool::spawn_at`] — see
+//! `crate::pool`). There is **one queue per virtual place**, and every
+//! worker of a place drains its own queue as part of its normal scheduling
+//! loop (between its mailbox and a steal attempt), so ingress never funnels
+//! through a single worker: a root task blocking worker 0 cannot starve a
+//! concurrently injected job. Workers also scan the *other* places' queues
+//! as a last resort before going to sleep — starving work beats placed
+//! work — which keeps the locality bias without sacrificing progress.
+//! DESIGN.md §2 has the full protocol story.
+
+use crate::job::JobRef;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One place's ingress queue: a mutex-guarded FIFO plus a length hint that
+/// lets the (hot) empty check skip the lock.
+///
+/// The hint is updated **while holding the queue lock**. The previous
+/// design updated it after dropping the lock, opening a window where a
+/// popper's fast-path check reads 0 for an already-enqueued job and naps
+/// instead of running it; `len_matches_queue_under_contention` below is the
+/// regression test for that window.
+#[derive(Debug)]
+pub(crate) struct IngressQueue {
+    queue: Mutex<VecDeque<JobRef>>,
+    len: AtomicUsize,
+}
+
+impl IngressQueue {
+    pub(crate) fn new() -> Self {
+        IngressQueue { queue: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) }
+    }
+
+    /// Enqueues a job. The length hint is bumped before the lock is
+    /// released, so any thread that subsequently acquires the lock (or
+    /// synchronizes with its release) observes a hint covering this job.
+    pub(crate) fn push(&self, job: JobRef) {
+        let mut q = self.queue.lock();
+        q.push_back(job);
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    /// Dequeues the oldest job, if any. Returns the job together with the
+    /// number of jobs left behind, so the caller can chain wake-ups while
+    /// the queue still holds work.
+    pub(crate) fn pop(&self) -> Option<(JobRef, usize)> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.queue.lock();
+        let job = q.pop_front()?;
+        let remaining = q.len();
+        self.len.store(remaining, Ordering::Release);
+        Some((job, remaining))
+    }
+
+    /// Racy emptiness probe (used by the sleep layer's final re-check,
+    /// which runs under the sleep lock — see `crate::sleep`).
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len.load(Ordering::Acquire) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use nws_topology::Place;
+    use std::sync::atomic::AtomicUsize;
+
+    struct CountJob(AtomicUsize);
+    impl Job for CountJob {
+        unsafe fn execute(this: *const ()) {
+            let this = &*(this as *const Self);
+            this.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn job_ref(j: &CountJob, place: Place) -> JobRef {
+        unsafe { JobRef::new(j, place) }
+    }
+
+    #[test]
+    fn fifo_order_and_remaining_counts() {
+        let j = CountJob(AtomicUsize::new(0));
+        let q = IngressQueue::new();
+        assert!(q.is_empty());
+        q.push(job_ref(&j, Place(0)));
+        q.push(job_ref(&j, Place(1)));
+        q.push(job_ref(&j, Place(2)));
+        assert!(!q.is_empty());
+        let (a, rest) = q.pop().unwrap();
+        assert_eq!((a.place(), rest), (Place(0), 2));
+        let (b, rest) = q.pop().unwrap();
+        assert_eq!((b.place(), rest), (Place(1), 1));
+        let (c, rest) = q.pop().unwrap();
+        assert_eq!((c.place(), rest), (Place(2), 0));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    /// Regression for the pre-rework bug: `inject` updated the length hint
+    /// after dropping the queue lock, so a popper could observe hint 0 for
+    /// an already-enqueued job. With the hint updated under the lock, a
+    /// popper that runs entirely after a push completes must find the job:
+    /// every job pushed here is eventually popped, with producers and
+    /// consumers hammering the queue concurrently.
+    #[test]
+    fn len_matches_queue_under_contention() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 500;
+        let j = CountJob(AtomicUsize::new(0));
+        let q = IngressQueue::new();
+        let popped = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..PRODUCERS {
+                s.spawn(|| {
+                    for _ in 0..PER_PRODUCER {
+                        q.push(job_ref(&j, Place::ANY));
+                        // Sequential push→pop on one thread: the pop's
+                        // fast-path hint check must never miss our own
+                        // completed push (some other thread may have taken
+                        // the job itself, but then the hint covered it).
+                        if let Some(_got) = q.pop() {
+                            popped.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        // Drain the leftovers from lost pop races.
+        while q.pop().is_some() {
+            popped.fetch_add(1, Ordering::SeqCst);
+        }
+        assert_eq!(popped.load(Ordering::SeqCst), PRODUCERS * PER_PRODUCER);
+        assert!(q.is_empty());
+    }
+
+    /// The single-producer single-consumer sequential case: after a push
+    /// returns, an immediate pop on the same thread must see the job (this
+    /// is exactly the window the old post-unlock hint update left open).
+    #[test]
+    fn pop_never_misses_a_completed_push() {
+        let j = CountJob(AtomicUsize::new(0));
+        let q = IngressQueue::new();
+        for _ in 0..10_000 {
+            q.push(job_ref(&j, Place::ANY));
+            assert!(q.pop().is_some(), "hint must cover a completed push");
+        }
+    }
+}

@@ -168,6 +168,48 @@ where
     }
 }
 
+/// A heap-allocated fire-and-forget job — the representation behind
+/// [`Pool::spawn`](crate::Pool::spawn) / `spawn_at`, where no caller stack
+/// frame outlives the submission. The box frees itself on execution, so
+/// unlike [`StackJob`] there is no owner to report back to: results go
+/// through whatever channel the closure captures, and a panic is caught and
+/// discarded (the pool must survive a panicking spawn).
+pub(crate) struct HeapJob<F> {
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send + 'static,
+{
+    pub(crate) fn new(func: F) -> Box<Self> {
+        Box::new(HeapJob { func })
+    }
+
+    /// Converts the box into a [`JobRef`], leaking it until execution.
+    ///
+    /// # Safety
+    ///
+    /// The returned ref must be executed exactly once; executing reclaims
+    /// the allocation, so the ref is dead afterwards. A ref that is never
+    /// executed leaks the box (the shutdown drain in `worker_main`
+    /// guarantees the runtime never strands one).
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>, place: Place) -> JobRef {
+        JobRef::new(Box::into_raw(self), place)
+    }
+}
+
+impl<F> Job for HeapJob<F>
+where
+    F: FnOnce() + Send + 'static,
+{
+    unsafe fn execute(this: *const ()) {
+        // Reclaim the box; its closure runs (and drops) here.
+        let this = Box::from_raw(this as *mut Self);
+        let _ = panic::catch_unwind(AssertUnwindSafe(this.func));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +241,26 @@ mod tests {
         assert!(job.latch.probe());
         let payload = unsafe { job.into_result() }.unwrap_err();
         assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+    }
+
+    #[test]
+    fn heap_job_runs_and_frees_itself() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran2 = Arc::clone(&ran);
+        let job = HeapJob::new(move || ran2.store(true, Ordering::SeqCst));
+        let jr = unsafe { job.into_job_ref(Place(3)) };
+        assert_eq!(jr.place(), Place(3));
+        unsafe { jr.execute() }; // miri-clean: the box reclaims itself
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn heap_job_panic_is_contained() {
+        let job = HeapJob::new(|| panic!("spawned panic"));
+        let jr = unsafe { job.into_job_ref(Place::ANY) };
+        unsafe { jr.execute() }; // must neither propagate nor leak
     }
 
     #[test]

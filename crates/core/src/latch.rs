@@ -10,6 +10,13 @@ pub(crate) trait Latch {
 }
 
 /// A latch probed by spinning workers that steal while they wait.
+///
+/// `set` is a plain atomic store with **no wake signal** — the work path
+/// must not pay for a fence or a lock on every join. The waiting side
+/// (`WorkerThread::wait_until`) therefore never deep-sleeps on this latch:
+/// its condvar naps are bounded by `sleep::LATCH_POLL_SLEEP`, so a set
+/// latch is detected within that bound even if no other event wakes the
+/// waiter.
 #[derive(Debug, Default)]
 pub(crate) struct SpinLatch {
     set: AtomicBool,

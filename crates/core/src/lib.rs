@@ -22,6 +22,15 @@
 //! work-first principle that gives the paper its `T1/TS ≈ 1` work
 //! efficiency.
 //!
+//! Beyond the paper's single-root model, the pool is **service-shaped**:
+//! external threads enter through per-place ingress queues
+//! ([`Pool::install`], [`Pool::install_at`], and the fire-and-forget
+//! [`Pool::spawn`] / [`Pool::spawn_at`]) that every worker of a place
+//! drains, and idle workers sleep on a condition variable that ingress,
+//! mailbox deposits, and deque pushes signal — many concurrent roots make
+//! progress together, with no single-worker ingress bottleneck and no
+//! busy-wait while the pool is idle. See DESIGN.md §2.
+//!
 //! ## What differs from the paper (and why)
 //!
 //! Cilk's continuation stealing requires compiler-managed cactus stacks;
@@ -63,6 +72,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod injector;
 mod job;
 mod join;
 mod latch;
@@ -70,6 +80,7 @@ mod mailbox;
 mod par_for;
 mod pool;
 mod registry;
+mod sleep;
 mod stats;
 
 pub use config::{BuildPoolError, SchedulerMode};

@@ -59,8 +59,7 @@ impl Mailbox {
         }
     }
 
-    /// A racy fullness probe.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// A racy fullness probe (used by the sleep layer's final re-check).
     pub(crate) fn is_full(&self) -> bool {
         !self.slot.load(Ordering::Acquire).is_null()
     }

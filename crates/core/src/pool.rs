@@ -2,7 +2,7 @@
 //! teardown.
 
 use crate::config::{BuildPoolError, SchedulerMode};
-use crate::job::StackJob;
+use crate::job::{HeapJob, StackJob};
 use crate::latch::LockLatch;
 use crate::registry::{worker_main, Registry, WorkerThread};
 use crate::stats::PoolStats;
@@ -202,12 +202,48 @@ impl Pool {
         Pool::builder().workers(workers).build()
     }
 
-    /// Runs `f` inside the pool and returns its result. The root
-    /// computation always starts on worker 0 (the paper pins the root at
-    /// the first core of the first socket).
+    /// Runs `f` inside the pool, blocking until it returns its result.
+    ///
+    /// The root computation enters through the pool's per-place ingress
+    /// queues — unhinted roots round-robin across places, and any idle
+    /// worker of the chosen place picks the job up within its wake
+    /// latency, even while other roots are still running (many concurrent
+    /// `install`s make progress together; none waits for another to
+    /// finish). Use [`install_at`](Pool::install_at) with `Place(0)` to
+    /// reproduce the paper's setup of a single root pinned to the first
+    /// socket.
     ///
     /// Calling `install` from inside the same pool runs `f` directly.
+    ///
+    /// # Blocking hazard
+    ///
+    /// Calling `install` on pool **B** from a worker thread of a
+    /// *different* pool **A** parks that A-worker on a blocking latch until
+    /// B finishes `f`. The parked worker does **not** steal or help while
+    /// it waits, so pool A effectively shrinks by one worker for the
+    /// duration (both pools still make progress — A's other workers keep
+    /// draining A's work, and a 1-worker A simply pauses). Prefer
+    /// restructuring so cross-pool hand-offs happen from non-worker
+    /// threads, or use [`spawn`](Pool::spawn) for fire-and-forget
+    /// submission, which never blocks.
     pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.install_at(Place::ANY, f)
+    }
+
+    /// As [`install`](Pool::install), but enters at `place` (wrapping
+    /// modulo the pool's place count): the root job is queued on that
+    /// place's ingress queue and normally starts on one of its workers —
+    /// the paper's "root at the first core of the first socket" is
+    /// `install_at(Place(0), f)`. The hint is best-effort: if the place
+    /// stays busy, an idle worker elsewhere takes the job rather than let
+    /// it starve.
+    ///
+    /// The blocking-hazard note on [`install`](Pool::install) applies.
+    pub fn install_at<F, R>(&self, place: Place, f: F) -> R
     where
         F: FnOnce() -> R + Send,
         R: Send,
@@ -219,8 +255,8 @@ impl Pool {
         }
         let job = StackJob::new(LockLatch::new(), f);
         // SAFETY: we block on the latch below, so the job outlives its
-        // execution and is executed exactly once (by worker 0).
-        let job_ref = unsafe { job.as_job_ref(Place::ANY) };
+        // execution and is executed exactly once.
+        let job_ref = unsafe { job.as_job_ref(place) };
         self.registry.inject(job_ref);
         job.latch.wait();
         // SAFETY: latch set implies the result was stored.
@@ -228,6 +264,57 @@ impl Pool {
             Ok(r) => r,
             Err(payload) => std::panic::resume_unwind(payload),
         }
+    }
+
+    /// Submits `f` to the pool **fire-and-forget**: returns immediately,
+    /// without waiting for `f` to run. Equivalent to
+    /// [`spawn_at`](Pool::spawn_at) with [`Place::ANY`] (round-robin
+    /// ingress).
+    ///
+    /// Results must travel through whatever channel `f` captures. A panic
+    /// inside `f` is caught and discarded; the pool survives. Dropping the
+    /// pool runs every job already spawned before the drop began — spawned
+    /// work is never leaked or silently discarded.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicU32, Ordering};
+    /// use std::sync::Arc;
+    ///
+    /// let pool = numa_ws::Pool::new(2).expect("pool");
+    /// let hits = Arc::new(AtomicU32::new(0));
+    /// for _ in 0..8 {
+    ///     let hits = Arc::clone(&hits);
+    ///     pool.spawn(move || {
+    ///         hits.fetch_add(1, Ordering::SeqCst);
+    ///     });
+    /// }
+    /// drop(pool); // waits for the spawned jobs
+    /// assert_eq!(hits.load(Ordering::SeqCst), 8);
+    /// ```
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.spawn_at(Place::ANY, f);
+    }
+
+    /// As [`spawn`](Pool::spawn), but hints the job toward `place`
+    /// (wrapping modulo the pool's place count). Spawns always travel
+    /// through the ingress queues — never the spawning worker's own deque —
+    /// so a fire-and-forget job can be picked up by any worker of its
+    /// place immediately, and shutdown can account for every pending job.
+    pub fn spawn_at<F>(&self, place: Place, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let job = HeapJob::new(f);
+        // SAFETY: workers execute every injected ref exactly once, and the
+        // shutdown drain guarantees no ref is abandoned (see worker_main),
+        // so the box is always reclaimed.
+        let job_ref = unsafe { job.into_job_ref(place) };
+        self.registry.inject(job_ref);
     }
 
     /// Number of workers.
@@ -268,6 +355,15 @@ impl Pool {
 }
 
 impl Drop for Pool {
+    /// Gracefully shuts the pool down: wakes every sleeping worker, lets
+    /// them drain all queued work (installed roots and fire-and-forget
+    /// spawns submitted before the drop are always run, never leaked), and
+    /// joins the worker threads.
+    ///
+    /// Do not let the *last* handle to a shared `Arc<Pool>` drop from
+    /// inside one of the pool's own jobs: the drop would join the worker
+    /// thread it is running on and deadlock. Keep an outside handle alive
+    /// until the pool's work is done.
     fn drop(&mut self) {
         self.registry.begin_shutdown();
         for h in self.handles.drain(..) {

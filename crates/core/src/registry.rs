@@ -1,18 +1,19 @@
 //! The pool registry and worker threads: deques, mailboxes, the biased
-//! steal protocol with coin flip, and lazy work pushing.
+//! steal protocol with coin flip, lazy work pushing, per-place external
+//! ingress, and the worker sleep/wake layer.
 
 use crate::config::SchedulerMode;
+use crate::injector::IngressQueue;
 use crate::job::JobRef;
 use crate::latch::SpinLatch;
 use crate::mailbox::Mailbox;
+use crate::sleep::{Sleep, SleepOutcome, DEEP_SLEEP, LATCH_POLL_SLEEP};
 use crate::stats::{bump, Category, Clock, PoolStats, WorkerStats};
 use nws_deque::{the_deque, Full, TheStealer, TheWorker};
 use nws_topology::{Place, StealDistribution, Topology, WorkerMap};
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use std::cell::Cell;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -35,8 +36,13 @@ pub(crate) struct Registry {
     mailboxes: Vec<Mailbox>,
     pub(crate) worker_stats: Vec<WorkerStats>,
     dists: Vec<Option<StealDistribution>>,
-    injector: Mutex<VecDeque<JobRef>>,
-    injector_len: AtomicUsize,
+    /// One external ingress queue per virtual place; every worker of a
+    /// place drains its own queue, and any worker drains remote queues as
+    /// a last resort (see [`WorkerThread::find_work`]).
+    injectors: Vec<IngressQueue>,
+    /// Round-robin cursor for `Place::ANY` ingress.
+    next_ingress: AtomicUsize,
+    pub(crate) sleep: Sleep,
     shutdown: AtomicBool,
     started: AtomicUsize,
     seed: u64,
@@ -55,12 +61,13 @@ impl Registry {
         seed: u64,
     ) -> (Arc<Registry>, Vec<TheWorker<JobRef>>) {
         let p = map.num_workers();
+        let s = map.num_places();
         let mut owners = Vec::with_capacity(p);
         let mut stealers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (w, s) = the_deque::<JobRef>(deque_capacity);
+            let (w, st) = the_deque::<JobRef>(deque_capacity);
             owners.push(w);
-            stealers.push(s);
+            stealers.push(st);
         }
         let dists = (0..p)
             .map(|w| {
@@ -78,8 +85,9 @@ impl Registry {
             mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
             worker_stats: (0..p).map(|_| WorkerStats::default()).collect(),
             dists,
-            injector: Mutex::new(VecDeque::new()),
-            injector_len: AtomicUsize::new(0),
+            injectors: (0..s).map(|_| IngressQueue::new()).collect(),
+            next_ingress: AtomicUsize::new(0),
+            sleep: Sleep::new(),
             shutdown: AtomicBool::new(false),
             started: AtomicUsize::new(0),
             seed,
@@ -92,25 +100,27 @@ impl Registry {
         (registry, owners)
     }
 
+    /// Enqueues an externally submitted job on its designated place's
+    /// ingress queue (`Place::ANY` round-robins across places) and wakes
+    /// the pool.
+    ///
+    /// Ingress is the latency-critical external entry point, so it
+    /// broadcasts rather than waking one worker: a single `notify_one`
+    /// could land on a join-waiter whose latch was just set, which would
+    /// resume its continuation without ever looking for this job.
     pub(crate) fn inject(&self, job: JobRef) {
-        self.injector.lock().push_back(job);
-        self.injector_len.fetch_add(1, Ordering::Release);
-    }
-
-    fn pop_injected(&self) -> Option<JobRef> {
-        if self.injector_len.load(Ordering::Acquire) == 0 {
-            return None;
-        }
-        let mut q = self.injector.lock();
-        let job = q.pop_front();
-        if job.is_some() {
-            self.injector_len.fetch_sub(1, Ordering::Release);
-        }
-        job
+        let s = self.map.num_places();
+        let place = match job.place().index() {
+            Some(p) => p % s,
+            None => self.next_ingress.fetch_add(1, Ordering::Relaxed) % s,
+        };
+        self.injectors[place].push(job);
+        self.sleep.wake_all();
     }
 
     pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
+        self.sleep.wake_all();
     }
 
     pub(crate) fn is_shutting_down(&self) -> bool {
@@ -133,6 +143,19 @@ impl Registry {
         for s in &self.worker_stats {
             s.reset();
         }
+    }
+
+    /// Is any work visible pool-wide? Evaluated by a committing sleeper
+    /// under the sleep lock (see `crate::sleep`); O(P + S), but only paid
+    /// at the sleep transition, never on the work path.
+    fn work_available(&self, worker_index: usize) -> bool {
+        if self.injectors.iter().any(|q| !q.is_empty()) {
+            return true;
+        }
+        if self.mode == SchedulerMode::NumaWs && self.mailboxes[worker_index].is_full() {
+            return true;
+        }
+        self.stealers.iter().enumerate().any(|(i, st)| i != worker_index && !st.is_empty())
     }
 }
 
@@ -194,14 +217,33 @@ impl WorkerThread {
 
     /// Pushes a job at a spawn point (work path).
     ///
+    /// Only an accepted push counts as a spawn; a rejected one bumps
+    /// `spawn_overflows` instead, so work-efficiency metrics never count
+    /// jobs that fell back to inline execution. A successful push while
+    /// any worker sleeps wakes one (the relaxed sleeper probe keeps the
+    /// common no-sleeper spawn path free of fences; a stale read here only
+    /// delays a thief by one sleep timeout, never stalls the program,
+    /// because the owner pops its own spawns).
+    ///
     /// # Errors
     ///
     /// Hands the job back if the deque is at capacity; the caller then runs
     /// it inline (losing only stealability, never correctness).
     #[inline]
     pub(crate) fn push(&self, job: JobRef) -> Result<(), Full<JobRef>> {
-        bump!(self.stats(), spawns);
-        self.deque.push(job)
+        match self.deque.push(job) {
+            Ok(()) => {
+                bump!(self.stats(), spawns);
+                if self.registry.sleep.num_sleepers() > 0 {
+                    self.registry.sleep.wake_one();
+                }
+                Ok(())
+            }
+            Err(full) => {
+                bump!(self.stats(), spawn_overflows);
+                Err(full)
+            }
+        }
     }
 
     /// Pops the tail of the own deque (work path).
@@ -222,25 +264,58 @@ impl WorkerThread {
     }
 
     /// Steals-while-waiting until `latch` is set (the join slow path).
+    ///
+    /// An idle waiter participates in the full work-finding protocol —
+    /// including external ingress — so a service pool never wastes a
+    /// join-blocked worker. It cannot deep-sleep, though: its latch is set
+    /// by a plain atomic store with no wake signal, so it sleeps in
+    /// [`LATCH_POLL_SLEEP`]-bounded slices (the same worst-case latch
+    /// latency as the old blind nap, but injected or deposited work now
+    /// wakes it immediately instead of waiting out the nap).
     pub(crate) fn wait_until(&self, latch: &SpinLatch) {
         self.switch_to(Category::Idle);
         let mut spins = 0u32;
         while !latch.probe() {
-            if let Some(job) = self.find_work(false) {
+            if let Some(job) = self.find_work() {
                 // SAFETY: jobs found through the protocol are live and
                 // unexecuted.
                 unsafe { self.execute(job) };
                 spins = 0;
             } else {
-                backoff(&mut spins);
+                self.idle_backoff(&mut spins, LATCH_POLL_SLEEP, || {
+                    latch.probe() || self.registry.work_available(self.index)
+                });
             }
         }
         self.switch_to(Category::Work);
     }
 
-    /// One trip through the scheduling loop: own mailbox, then (for worker
-    /// 0 in the main loop) the injector, then one steal attempt.
-    fn find_work(&self, take_injected: bool) -> Option<JobRef> {
+    /// One idle round: spin, then yield, then sleep on the pool condvar
+    /// with `timeout` and `recheck` (see [`Sleep::sleep`]). Only a
+    /// producer-notified wake counts toward the `wakeups` statistic.
+    fn idle_backoff(
+        &self,
+        spins: &mut u32,
+        timeout: std::time::Duration,
+        recheck: impl FnOnce() -> bool,
+    ) {
+        *spins += 1;
+        if *spins < 10 {
+            std::hint::spin_loop();
+        } else if *spins < 50 {
+            std::thread::yield_now();
+        } else if self.registry.sleep.sleep(timeout, recheck) == SleepOutcome::Notified {
+            bump!(self.stats(), wakeups);
+        }
+    }
+
+    /// One trip through the scheduling loop, in drain order: own mailbox,
+    /// own place's ingress queue, one steal attempt, then remote ingress
+    /// queues as a last resort. The order preserves the locality bias —
+    /// earmarked work first, then place-local ingress, then the biased
+    /// steal — while guaranteeing that no injected job can starve behind a
+    /// busy place: any idle worker anywhere eventually picks it up.
+    fn find_work(&self) -> Option<JobRef> {
         // Fig 5 line 25-26: check own mailbox first; anything there is
         // earmarked for our place.
         if self.registry.mode == SchedulerMode::NumaWs {
@@ -249,12 +324,28 @@ impl WorkerThread {
                 return Some(job);
             }
         }
-        if take_injected && self.index == 0 {
-            if let Some(job) = self.registry.pop_injected() {
-                return Some(job);
-            }
+        if let Some(job) = self.take_injected(self.my_place().0) {
+            return Some(job);
         }
-        self.steal_once()
+        if let Some(job) = self.steal_once() {
+            return Some(job);
+        }
+        // Last resort before backoff: drain another place's ingress.
+        // Starving work beats placed work; the job runs here rather than
+        // wait for its (busy or sleeping) home place.
+        let s = self.registry.map.num_places();
+        (1..s).find_map(|off| self.take_injected((self.my_place().0 + off) % s))
+    }
+
+    /// Pops place `p`'s ingress queue, chaining a wake-up when jobs remain
+    /// so a burst of installs fans out across sleepers.
+    fn take_injected(&self, p: usize) -> Option<JobRef> {
+        let (job, remaining) = self.registry.injectors[p].pop()?;
+        bump!(self.stats(), injector_takes);
+        if remaining > 0 {
+            self.registry.sleep.wake_one();
+        }
+        Some(job)
     }
 
     /// One steal attempt following BIASEDSTEALWITHPUSH (Fig 5 l.28) under
@@ -332,6 +423,12 @@ impl WorkerThread {
             match self.registry.mailboxes[r].try_deposit(job) {
                 Ok(()) => {
                     bump!(self.stats(), push_deliveries);
+                    // The deposit target may be asleep. Broadcast, as
+                    // inject does: a mailbox is visible only to its owner
+                    // (and to coin-flip thieves), so a single notify could
+                    // land on a sleeper that cannot see this job and would
+                    // re-sleep, leaving the owner napping out its timeout.
+                    self.registry.sleep.wake_all();
                     break PushOutcome::Delivered;
                 }
                 Err(back) => job = back,
@@ -343,18 +440,6 @@ impl WorkerThread {
         };
         self.switch_to(Category::Idle);
         outcome
-    }
-}
-
-/// Exponential backoff for idle workers: spin, then yield, then nap.
-fn backoff(spins: &mut u32) {
-    *spins += 1;
-    if *spins < 10 {
-        std::hint::spin_loop();
-    } else if *spins < 50 {
-        std::thread::yield_now();
-    } else {
-        std::thread::sleep(std::time::Duration::from_micros(50));
     }
 }
 
@@ -374,15 +459,32 @@ pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorke
 
     let mut spins = 0u32;
     loop {
-        if let Some(job) = worker.find_work(true) {
+        if let Some(job) = worker.find_work() {
             // SAFETY: protocol-found jobs are live and unexecuted.
             unsafe { worker.execute(job) };
             spins = 0;
-        } else if worker.registry.is_shutting_down() {
-            break;
-        } else {
-            backoff(&mut spins);
+            continue;
         }
+        if worker.registry.is_shutting_down() {
+            // Drain after observing shutdown: the acquire load above makes
+            // every inject that happened before `begin_shutdown` visible,
+            // so a job enqueued just ahead of the pool's drop can never be
+            // stranded (fire-and-forget spawns run or are joined, never
+            // leaked). Work spawned *by* drained jobs is found by the
+            // spawning worker on its next trip through this loop.
+            if let Some(job) = worker.find_work() {
+                // SAFETY: as above.
+                unsafe { worker.execute(job) };
+                spins = 0;
+                continue;
+            }
+            break;
+        }
+        // Deep sleep until a producer signals (inject, deposit, or a deque
+        // push while we sleep); the timeout is only a safety net.
+        worker.idle_backoff(&mut spins, DEEP_SLEEP, || {
+            worker.registry.work_available(index) || worker.registry.is_shutting_down()
+        });
     }
     worker.clock.flush(worker.stats());
     WORKER.with(|w| w.set(std::ptr::null()));

@@ -28,6 +28,9 @@ pub(crate) struct WorkerStats {
     pub sched_ns: AtomicU64,
     pub idle_ns: AtomicU64,
     pub spawns: AtomicU64,
+    pub spawn_overflows: AtomicU64,
+    pub injector_takes: AtomicU64,
+    pub wakeups: AtomicU64,
     pub steal_attempts: AtomicU64,
     pub remote_steal_attempts: AtomicU64,
     pub steals: AtomicU64,
@@ -62,6 +65,9 @@ impl WorkerStats {
             sched_ns: self.sched_ns.load(Relaxed),
             idle_ns: self.idle_ns.load(Relaxed),
             spawns: self.spawns.load(Relaxed),
+            spawn_overflows: self.spawn_overflows.load(Relaxed),
+            injector_takes: self.injector_takes.load(Relaxed),
+            wakeups: self.wakeups.load(Relaxed),
             steal_attempts: self.steal_attempts.load(Relaxed),
             remote_steal_attempts: self.remote_steal_attempts.load(Relaxed),
             steals: self.steals.load(Relaxed),
@@ -79,6 +85,9 @@ impl WorkerStats {
         self.sched_ns.store(0, Relaxed);
         self.idle_ns.store(0, Relaxed);
         self.spawns.store(0, Relaxed);
+        self.spawn_overflows.store(0, Relaxed);
+        self.injector_takes.store(0, Relaxed);
+        self.wakeups.store(0, Relaxed);
         self.steal_attempts.store(0, Relaxed);
         self.remote_steal_attempts.store(0, Relaxed);
         self.steals.store(0, Relaxed);
@@ -100,8 +109,24 @@ pub struct WorkerStatsSnapshot {
     pub sched_ns: u64,
     /// Nanoseconds spent idle (failed steals, spinning).
     pub idle_ns: u64,
-    /// Jobs pushed onto the local deque (`cilk_spawn` count).
+    /// Jobs pushed onto the local deque (`cilk_spawn` count). Counts only
+    /// **accepted** pushes: a spawn that overflows the deque and degrades
+    /// to inline execution lands in [`spawn_overflows`] instead, so the
+    /// `T1/TS` work-efficiency metrics never see phantom spawns.
+    ///
+    /// [`spawn_overflows`]: WorkerStatsSnapshot::spawn_overflows
     pub spawns: u64,
+    /// Spawns rejected by a full deque and run inline by the spawner.
+    pub spawn_overflows: u64,
+    /// Jobs taken from the per-place external ingress queues (own place or,
+    /// as a last resort, a remote one).
+    pub injector_takes: u64,
+    /// Times a sleeping worker was woken by a producer's signal (inject,
+    /// mailbox deposit, or a deque push made while it slept). Safety-net
+    /// timeouts are not counted, so this is zero both under sustained load
+    /// (nobody sleeps) and under sustained idleness (nobody signals); high
+    /// `wakeups` with low takes/steals indicates wake churn.
+    pub wakeups: u64,
     /// Steal attempts made by this worker.
     pub steal_attempts: u64,
     /// Steal attempts that targeted a victim on another socket. The ratio
@@ -176,6 +201,21 @@ impl PoolStats {
     /// Total spawns.
     pub fn total_spawns(&self) -> u64 {
         self.workers.iter().map(|w| w.spawns).sum()
+    }
+
+    /// Total spawns that overflowed their deque and ran inline.
+    pub fn total_spawn_overflows(&self) -> u64 {
+        self.workers.iter().map(|w| w.spawn_overflows).sum()
+    }
+
+    /// Total jobs taken from the external ingress queues.
+    pub fn total_injector_takes(&self) -> u64 {
+        self.workers.iter().map(|w| w.injector_takes).sum()
+    }
+
+    /// Total worker sleep/wake cycles.
+    pub fn total_wakeups(&self) -> u64 {
+        self.workers.iter().map(|w| w.wakeups).sum()
     }
 }
 

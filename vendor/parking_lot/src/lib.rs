@@ -2,9 +2,11 @@
 //!
 //! The build environment has no access to crates.io, so this crate
 //! re-implements the small slice of parking_lot's API the workspace uses —
-//! [`Mutex`], [`MutexGuard`], and [`Condvar`] — on top of `std::sync`.
-//! Semantics match parking_lot where it matters to callers: `lock()` returns
-//! the guard directly (poisoning is swallowed, as parking_lot has none) and
+//! [`Mutex`], [`MutexGuard`], and [`Condvar`] (including the timed
+//! [`Condvar::wait_for`], which the runtime's worker sleep/wake layer uses
+//! as a lost-wakeup safety net) — on top of `std::sync`. Semantics match
+//! parking_lot where it matters to callers: `lock()` returns the guard
+//! directly (poisoning is swallowed, as parking_lot has none) and
 //! `Condvar::wait` takes `&mut MutexGuard`.
 
 use std::fmt;
@@ -114,6 +116,27 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// As [`wait`](Condvar::wait), but gives up after `timeout`. Returns a
+    /// [`WaitTimeoutResult`] telling whether the wait timed out (as opposed
+    /// to being notified or woken spuriously). The mutex is re-acquired
+    /// before returning in every case.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard vacated");
+        let (inner, result) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(inner);
+        WaitTimeoutResult { timed_out: result.timed_out() }
+    }
+
     /// Wakes one blocked waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -128,6 +151,20 @@ impl Condvar {
 impl fmt::Debug for Condvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Outcome of a [`Condvar::wait_for`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed rather than by
+    /// notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -151,6 +188,38 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(r.timed_out());
+        drop(g); // the guard must be live (re-armed) after the timeout
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn wait_for_returns_on_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut done = m.lock();
+            while !*done {
+                let _ = cv.wait_for(&mut done, std::time::Duration::from_secs(30));
+            }
+            assert!(*done);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
     }
 
     #[test]
