@@ -1,0 +1,275 @@
+//! Machine-readable perf snapshot: the work-path microbenches (deque
+//! push/pop, deque steal, spawn/join overhead), the steal-protocol tree,
+//! and one real app kernel (cilksort), each reported as a **median ns/op**
+//! so the repo can carry a perf trajectory across PRs (`BENCH_*.json`).
+//!
+//! Run: `cargo run --release -p nws_bench --bin bench_snapshot`
+//! (writes `BENCH_pr3.json` in the current directory; `--out PATH` to
+//! redirect, `--quick` for the CI smoke configuration, which shrinks every
+//! workload so a broken harness fails the pipeline in seconds).
+//!
+//! Medians, not means: a snapshot committed to git should not move because
+//! one sample caught a page fault. The vendored criterion reports
+//! min/mean/max; this harness does its own sampling so the committed
+//! number is a median of `samples` fresh runs.
+
+use numa_ws::{join, Pool, SchedulerMode};
+use nws_deque::the_deque;
+use std::time::Instant;
+
+struct BenchResult {
+    name: &'static str,
+    median_ns_per_op: f64,
+    ops_per_sample: u64,
+    samples: usize,
+}
+
+/// Times `body` (which performs `ops` operations) `samples` times and
+/// returns the median ns/op.
+fn sample_median(samples: usize, ops: u64, mut body: impl FnMut()) -> f64 {
+    sample_median_batched(samples, ops, || (), |()| body())
+}
+
+/// As [`sample_median`], but runs `setup` *outside* the timed region before
+/// each sample and hands its output to `body` — criterion's `iter_batched`,
+/// in miniature (setup cost must not pollute a committed trajectory point).
+fn sample_median_batched<T>(
+    samples: usize,
+    ops: u64,
+    mut setup: impl FnMut() -> T,
+    mut body: impl FnMut(T),
+) -> f64 {
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let input = setup();
+            let start = Instant::now();
+            body(input);
+            start.elapsed().as_nanos() as f64 / ops as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    per_op[per_op.len() / 2]
+}
+
+fn fib_serial(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_serial(n - 1) + fib_serial(n - 2)
+    }
+}
+
+fn fib_join(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib_join(n - 1), || fib_join(n - 2));
+    a + b
+}
+
+/// Interior nodes of the fib recursion tree = joins performed.
+fn fib_joins(n: u64) -> u64 {
+    fib_serial(n + 1) - 1
+}
+
+fn tree(d: u32) -> u64 {
+    if d == 0 {
+        // ~1 microsecond of leaf work (same leaf as the steal_protocol
+        // criterion bench, so the two series are comparable).
+        let mut acc = 1u64;
+        for i in 0..300u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc | 1
+    } else {
+        let (a, b) = join(|| tree(d - 1), || tree(d - 1));
+        a.wrapping_add(b)
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_pr3.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown flag {other:?}; usage: bench_snapshot [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = host.min(8);
+    let mut results: Vec<BenchResult> = Vec::new();
+
+    // --- deque push/pop: the spawn fast path at the data-structure level.
+    {
+        let (samples, n) = if quick { (5, 1024u64) } else { (31, 1024u64) };
+        let (w, _s) = the_deque::<u64>(2048);
+        let median = sample_median(samples, 2 * n, || {
+            for i in 0..n {
+                w.push(i).unwrap();
+            }
+            for _ in 0..n {
+                std::hint::black_box(w.pop());
+            }
+        });
+        results.push(BenchResult {
+            name: "deque_push_pop",
+            median_ns_per_op: median,
+            ops_per_sample: 2 * n,
+            samples,
+        });
+    }
+
+    // --- deque steal: the thief side (lock + handshake per item). The
+    // deque build + fill happens outside the timed region.
+    {
+        let (samples, n) = if quick { (5, 1024u64) } else { (31, 1024u64) };
+        let median = sample_median_batched(
+            samples,
+            n,
+            || {
+                let (w, s) = the_deque::<u64>(2048);
+                for i in 0..n {
+                    w.push(i).unwrap();
+                }
+                (w, s)
+            },
+            |(_w, s)| {
+                while let Some(v) = s.steal() {
+                    std::hint::black_box(v);
+                }
+            },
+        );
+        results.push(BenchResult {
+            name: "deque_steal",
+            median_ns_per_op: median,
+            ops_per_sample: n,
+            samples,
+        });
+    }
+
+    // --- spawn/join overhead: uncoarsened fib on one worker; ns per join
+    // (push + pop + latch bookkeeping, no steals possible).
+    {
+        let (samples, n) = if quick { (3, 18u64) } else { (15, 27u64) };
+        let joins = fib_joins(n);
+        let pool = Pool::builder().workers(1).stats(false).build().unwrap();
+        let median = sample_median(samples, joins, || {
+            pool.install(|| std::hint::black_box(fib_join(std::hint::black_box(n))));
+        });
+        results.push(BenchResult {
+            name: "spawn_join_fib",
+            median_ns_per_op: median,
+            ops_per_sample: joins,
+            samples,
+        });
+    }
+
+    // --- steal protocol end-to-end: fine-grained tree across 2 places
+    // under NUMA-WS (coin flip + pushback machinery engaged); ns per leaf.
+    {
+        let (samples, d) = if quick { (3, 8u32) } else { (15, 12u32) };
+        let leaves = 1u64 << d;
+        let pool = Pool::builder()
+            .workers(workers)
+            .places(2.min(workers))
+            .mode(SchedulerMode::NumaWs)
+            .stats(false)
+            .build()
+            .unwrap();
+        let median = sample_median(samples, leaves, || {
+            pool.install(|| std::hint::black_box(tree(d)));
+        });
+        results.push(BenchResult {
+            name: "steal_tree",
+            median_ns_per_op: median,
+            ops_per_sample: leaves,
+            samples,
+        });
+    }
+
+    // --- app kernel: cilksort with Figure 4 hints; ns per element sorted.
+    {
+        let (samples, n) = if quick { (3, 1usize << 13) } else { (9, 1usize << 17) };
+        let params = nws_apps::cilksort::Params {
+            n,
+            sort_base: (n / 32).max(64),
+            merge_base: (n / 32).max(64),
+        };
+        let places = 4.min(workers);
+        let pool = Pool::builder()
+            .workers(workers)
+            .places(places)
+            .mode(SchedulerMode::NumaWs)
+            .stats(false)
+            .build()
+            .unwrap();
+        let keys = nws_apps::common::random_keys(n, 7);
+        let mut tmp = vec![0u64; n];
+        let median = sample_median(samples, n as u64, || {
+            let mut data = keys.clone();
+            pool.install(|| nws_apps::cilksort::sort_parallel(&mut data, &mut tmp, params, places));
+            std::hint::black_box(&data);
+        });
+        results.push(BenchResult {
+            name: "cilksort_app",
+            median_ns_per_op: median,
+            ops_per_sample: n as u64,
+            samples,
+        });
+    }
+
+    // --- render JSON (no serde_json under vendoring; the format is flat).
+    let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bench_snapshot/v1\",\n");
+    json.push_str("  \"pr\": \"pr3\",\n");
+    json.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_ns_per_op\": {:.2}, \"ops_per_sample\": {}, \
+             \"samples\": {} }}{}\n",
+            r.name,
+            r.median_ns_per_op,
+            r.ops_per_sample,
+            r.samples,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    // Before/after medians-of-record for the PR-3 work-path optimisation,
+    // from the vendored criterion harness on the same machine, same day
+    // ("before" = commit caaf65f, the last pre-relaxation tree, which
+    // cannot run this bin). Emitted by the generator so regenerating the
+    // committed artifact never silently drops the evidence.
+    json.push_str(concat!(
+        "  \"criterion_evidence\": {\n",
+        "    \"note\": \"PR-3 before/after, vendored-criterion min/mean; 'before' is commit caaf65f on the same 1-CPU container, same day. Steal keeps its lock + one SeqCst fence by design; its min/mean spread is container noise.\",\n",
+        "    \"deque_push_pop_1k_the_protocol_us_per_iter\": { \"before_min\": 23.650, \"before_mean\": 25.261, \"after_min\": 12.485, \"after_mean\": 14.013 },\n",
+        "    \"work_efficiency_fib30_T1_uncoarsened_ms\": { \"before_min\": 48.180, \"before_mean\": 52.650, \"after_min\": 35.893, \"after_mean\": 39.106 },\n",
+        "    \"work_efficiency_fib30_TS_serial_ms\": { \"before_mean\": 2.868, \"after_mean\": 3.158 },\n",
+        "    \"deque_steal_1k_the_protocol_us_per_iter\": { \"before_min\": 21.991, \"before_mean\": 25.595, \"after_min\": 23.034, \"after_mean\": 31.840 }\n",
+        "  }\n"
+    ));
+    json.push_str("}\n");
+
+    for r in &results {
+        println!(
+            "{:20} {:10.2} ns/op  ({} ops/sample, {} samples, median)",
+            r.name, r.median_ns_per_op, r.ops_per_sample, r.samples
+        );
+    }
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}

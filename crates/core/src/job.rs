@@ -164,6 +164,14 @@ where
             Err(e) => JobResult::Panicked(e),
         };
         *this.result.get() = result;
+        // Publish counters before publishing completion: whoever observes
+        // the latch (and, transitively, whoever observes the root's
+        // completion) then sees every counter this job's execution bumped —
+        // the exactness half of the deferred-flush protocol (stats module
+        // docs). Steal path: the owner's un-stolen jobs never come here.
+        if let Some(worker) = crate::registry::WorkerThread::current() {
+            worker.flush_counters();
+        }
         this.latch.set();
     }
 }
@@ -207,6 +215,12 @@ where
         // Reclaim the box; its closure runs (and drops) here.
         let this = Box::from_raw(this as *mut Self);
         let _ = panic::catch_unwind(AssertUnwindSafe(this.func));
+        // No latch to publish through, but flush anyway so counters bumped
+        // by a fire-and-forget job are visible as soon as any effect of the
+        // job (e.g. a channel send it performed) is.
+        if let Some(worker) = crate::registry::WorkerThread::current() {
+            worker.flush_counters();
+        }
     }
 }
 
@@ -214,10 +228,12 @@ where
 mod tests {
     use super::*;
     use crate::latch::SpinLatch;
+    use crate::sleep::Sleep;
 
     #[test]
     fn stack_job_inline_run() {
-        let job = StackJob::new(SpinLatch::new(), || 40 + 2);
+        let sleep = Sleep::new();
+        let job = StackJob::new(SpinLatch::new(&sleep), || 40 + 2);
         // Never turned into a JobRef: run inline.
         let r = unsafe { job.run_inline() };
         assert_eq!(r, 42);
@@ -225,7 +241,8 @@ mod tests {
 
     #[test]
     fn stack_job_execute_then_take() {
-        let job = StackJob::new(SpinLatch::new(), || "done".to_string());
+        let sleep = Sleep::new();
+        let job = StackJob::new(SpinLatch::new(&sleep), || "done".to_string());
         let jr = unsafe { job.as_job_ref(Place(1)) };
         assert_eq!(jr.place(), Place(1));
         unsafe { jr.execute() };
@@ -235,7 +252,8 @@ mod tests {
 
     #[test]
     fn stack_job_panic_captured() {
-        let job: StackJob<_, _, ()> = StackJob::new(SpinLatch::new(), || panic!("boom"));
+        let sleep = Sleep::new();
+        let job: StackJob<_, _, ()> = StackJob::new(SpinLatch::new(&sleep), || panic!("boom"));
         let jr = unsafe { job.as_job_ref(Place::ANY) };
         unsafe { jr.execute() }; // must not propagate here
         assert!(job.latch.probe());
@@ -265,7 +283,8 @@ mod tests {
 
     #[test]
     fn job_ref_identity() {
-        let job = StackJob::new(SpinLatch::new(), || 0u8);
+        let sleep = Sleep::new();
+        let job = StackJob::new(SpinLatch::new(&sleep), || 0u8);
         let jr = unsafe { job.as_job_ref(Place::ANY) };
         assert_eq!(jr.id(), &job as *const _ as *const ());
         unsafe { jr.execute() };

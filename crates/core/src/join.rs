@@ -81,7 +81,7 @@ where
     RA: Send,
     RB: Send,
 {
-    let job_b = StackJob::new(SpinLatch::new(), b);
+    let job_b = StackJob::new(SpinLatch::new(&worker.registry.sleep), b);
     // SAFETY: job_b stays on this stack frame until resolved below, and is
     // executed exactly once (inline xor stolen).
     let ref_b = unsafe { job_b.as_job_ref(place) };

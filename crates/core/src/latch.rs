@@ -1,5 +1,6 @@
 //! Completion latches used to join spawned work.
 
+use crate::sleep::Sleep;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -11,20 +12,23 @@ pub(crate) trait Latch {
 
 /// A latch probed by spinning workers that steal while they wait.
 ///
-/// `set` is a plain atomic store with **no wake signal** — the work path
-/// must not pay for a fence or a lock on every join. The waiting side
-/// (`WorkerThread::wait_until`) therefore never deep-sleeps on this latch:
-/// its condvar naps are bounded by `sleep::LATCH_POLL_SLEEP`, so a set
-/// latch is detected within that bound even if no other event wakes the
-/// waiter.
-#[derive(Debug, Default)]
-pub(crate) struct SpinLatch {
+/// `set` is an atomic store plus one `Relaxed` sleeper probe — the same
+/// trick as the deque-push wake in `WorkerThread::push`. The latch is set
+/// on the *steal* path (a thief finishing a stolen job), so it can afford
+/// to check whether its waiter went to sleep and broadcast a wake-up; the
+/// waiter (`WorkerThread::wait_until`) can therefore deep-sleep on the pool
+/// condvar instead of polling in bounded slices. The probe is `Relaxed`: a
+/// stale read can only miss a *just*-committed sleeper, which the sleep
+/// safety-net timeout then bounds — latency, never a hang.
+#[derive(Debug)]
+pub(crate) struct SpinLatch<'a> {
     set: AtomicBool,
+    sleep: &'a Sleep,
 }
 
-impl SpinLatch {
-    pub(crate) fn new() -> Self {
-        SpinLatch { set: AtomicBool::new(false) }
+impl<'a> SpinLatch<'a> {
+    pub(crate) fn new(sleep: &'a Sleep) -> Self {
+        SpinLatch { set: AtomicBool::new(false), sleep }
     }
 
     /// Whether the latch has been set (acquire semantics, so data written
@@ -35,10 +39,23 @@ impl SpinLatch {
     }
 }
 
-impl Latch for SpinLatch {
+impl Latch for SpinLatch<'_> {
     #[inline]
     fn set(&self) {
+        // Copy the sleep reference out of the latch BEFORE the store: the
+        // instant `set` becomes visible, the joiner may return and pop the
+        // stack frame holding this latch, so no field of `self` may be
+        // touched afterwards (the classic work-stealing latch hazard). The
+        // `Sleep` itself lives in the registry, which this thread's own
+        // `Arc` keeps alive.
+        let sleep = self.sleep;
         self.set.store(true, Ordering::Release);
+        // Wake a sleeping joiner. Broadcast, not notify-one: the latch is
+        // visible only to its own waiter, so a single notify could land on
+        // a different sleeper that cannot make progress from this event.
+        if sleep.num_sleepers() > 0 {
+            sleep.wake_all();
+        }
     }
 }
 
@@ -79,10 +96,32 @@ mod tests {
 
     #[test]
     fn spin_latch_starts_unset() {
-        let l = SpinLatch::new();
+        let sleep = Sleep::new();
+        let l = SpinLatch::new(&sleep);
         assert!(!l.probe());
         l.set();
         assert!(l.probe());
+    }
+
+    #[test]
+    fn spin_latch_set_wakes_a_sleeper() {
+        let sleep = Arc::new(Sleep::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (s2, stop2) = (Arc::clone(&sleep), Arc::clone(&stop));
+        let sleeper = std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                s2.sleep(std::time::Duration::from_secs(5), || stop2.load(Ordering::SeqCst));
+            }
+        });
+        while sleep.num_sleepers() == 0 {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::SeqCst);
+        let l = SpinLatch::new(&sleep);
+        let start = std::time::Instant::now();
+        l.set(); // must broadcast and release the sleeper well before 5s
+        sleeper.join().unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_secs(4));
     }
 
     #[test]
@@ -106,10 +145,11 @@ mod tests {
 
     #[test]
     fn spin_latch_cross_thread_visibility() {
-        let l = Arc::new(SpinLatch::new());
-        let l2 = Arc::clone(&l);
-        let t = std::thread::spawn(move || l2.set());
-        t.join().unwrap();
+        let sleep = Sleep::new();
+        let l = SpinLatch::new(&sleep);
+        std::thread::scope(|s| {
+            s.spawn(|| l.set());
+        });
         assert!(l.probe());
     }
 }

@@ -7,12 +7,11 @@ use crate::injector::IngressQueue;
 use crate::job::JobRef;
 use crate::latch::SpinLatch;
 use crate::mailbox::Mailbox;
-use crate::sleep::{Sleep, SleepOutcome, DEEP_SLEEP, LATCH_POLL_SLEEP};
-use crate::stats::{bump, Category, Clock, PoolStats, WorkerStats};
+use crate::sleep::{Sleep, SleepOutcome, DEEP_SLEEP};
+use crate::stats::{bump, Category, Clock, LocalCounters, PoolStats, WorkerStats};
 use nws_deque::{the_deque, Full, TheStealer, TheWorker};
 use nws_topology::{Place, StealDistribution, Topology, WorkerMap};
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
+use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -36,6 +35,11 @@ pub(crate) struct Registry {
     mailboxes: Vec<Mailbox>,
     pub(crate) worker_stats: Vec<WorkerStats>,
     dists: Vec<Option<StealDistribution>>,
+    /// `push_candidates[w][p]`: the workers of place `p` a PUSHBACK episode
+    /// started by worker `w` may deposit to (everyone on `p` except `w`).
+    /// Precomputed at construction so `pushback` never heap-allocates on
+    /// the steal-relay path.
+    push_candidates: Vec<Vec<Vec<usize>>>,
     /// One external ingress queue per virtual place; every worker of a
     /// place drains its own queue, and any worker drains remote queues as
     /// a last resort (see [`WorkerThread::find_work`]).
@@ -44,7 +48,10 @@ pub(crate) struct Registry {
     next_ingress: AtomicUsize,
     pub(crate) sleep: Sleep,
     shutdown: AtomicBool,
-    started: AtomicUsize,
+    /// Startup gate: count of workers that have entered their main loops,
+    /// plus the condvar `wait_until_started` blocks on (no busy-spin).
+    started: Mutex<usize>,
+    started_cv: Condvar,
     seed: u64,
 }
 
@@ -80,16 +87,31 @@ impl Registry {
                 }
             })
             .collect();
+        let push_candidates = (0..p)
+            .map(|w| {
+                (0..s)
+                    .map(|place| {
+                        map.workers_of_place(Place(place))
+                            .iter()
+                            .copied()
+                            .filter(|&c| c != w)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
         let registry = Arc::new(Registry {
             stealers,
             mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
             worker_stats: (0..p).map(|_| WorkerStats::default()).collect(),
             dists,
+            push_candidates,
             injectors: (0..s).map(|_| IngressQueue::new()).collect(),
             next_ingress: AtomicUsize::new(0),
             sleep: Sleep::new(),
             shutdown: AtomicBool::new(false),
-            started: AtomicUsize::new(0),
+            started: Mutex::new(0),
+            started_cv: Condvar::new(),
             seed,
             topo,
             map,
@@ -127,11 +149,23 @@ impl Registry {
         self.shutdown.load(Ordering::Acquire)
     }
 
+    /// Called by each worker as it enters its main loop.
+    fn note_started(&self) {
+        let mut started = self.started.lock();
+        *started += 1;
+        if *started == self.map.num_workers() {
+            self.started_cv.notify_all();
+        }
+    }
+
     /// Blocks until all workers have entered their main loops (so install
-    /// never races thread startup).
+    /// never races thread startup). A condvar wait, not a yield spin: pool
+    /// construction is not a path worth burning an external thread's CPU
+    /// on, and startup of P threads can take milliseconds under load.
     pub(crate) fn wait_until_started(&self) {
-        while self.started.load(Ordering::Acquire) < self.map.num_workers() {
-            std::thread::yield_now();
+        let mut started = self.started.lock();
+        while *started < self.map.num_workers() {
+            self.started_cv.wait(&mut started);
         }
     }
 
@@ -168,8 +202,14 @@ pub(crate) struct WorkerThread {
     pub(crate) registry: Arc<Registry>,
     pub(crate) index: usize,
     deque: TheWorker<JobRef>,
-    rng: std::cell::RefCell<SmallRng>,
+    /// SplitMix64 state (same stream as the vendored `SmallRng`); a plain
+    /// cell instead of `RefCell<SmallRng>` so a sample is two loads and a
+    /// store with no borrow-flag traffic on the steal path.
+    rng: Cell<u64>,
     clock: Clock,
+    /// Work-path counters; flushed into the shared atomics at steal-path
+    /// transitions (see `stats` module docs for the protocol).
+    local: LocalCounters,
 }
 
 impl WorkerThread {
@@ -191,8 +231,17 @@ impl WorkerThread {
         &self.registry.worker_stats[self.index]
     }
 
+    /// Publishes this worker's locally accumulated counters. Called at
+    /// category switches, before sleeping, before a job sets its completion
+    /// latch, and at worker exit — never on the work path.
+    #[inline]
+    pub(crate) fn flush_counters(&self) {
+        self.local.flush_into(self.stats());
+    }
+
     #[inline]
     pub(crate) fn switch_to(&self, cat: Category) {
+        self.flush_counters();
         self.clock.switch_to(self.stats(), cat);
     }
 
@@ -212,7 +261,7 @@ impl WorkerThread {
 
     #[inline]
     fn next_random(&self) -> u64 {
-        self.rng.borrow_mut().next_u64()
+        splitmix64(&self.rng)
     }
 
     /// Pushes a job at a spawn point (work path).
@@ -233,14 +282,14 @@ impl WorkerThread {
     pub(crate) fn push(&self, job: JobRef) -> Result<(), Full<JobRef>> {
         match self.deque.push(job) {
             Ok(()) => {
-                bump!(self.stats(), spawns);
+                bump!(self.local, spawns);
                 if self.registry.sleep.num_sleepers() > 0 {
                     self.registry.sleep.wake_one();
                 }
                 Ok(())
             }
             Err(full) => {
-                bump!(self.stats(), spawn_overflows);
+                bump!(self.local, spawn_overflows);
                 Err(full)
             }
         }
@@ -267,12 +316,12 @@ impl WorkerThread {
     ///
     /// An idle waiter participates in the full work-finding protocol —
     /// including external ingress — so a service pool never wastes a
-    /// join-blocked worker. It cannot deep-sleep, though: its latch is set
-    /// by a plain atomic store with no wake signal, so it sleeps in
-    /// [`LATCH_POLL_SLEEP`]-bounded slices (the same worst-case latch
-    /// latency as the old blind nap, but injected or deposited work now
-    /// wakes it immediately instead of waiting out the nap).
-    pub(crate) fn wait_until(&self, latch: &SpinLatch) {
+    /// join-blocked worker. When it runs out of work it deep-sleeps on the
+    /// pool condvar like any other idle worker: `SpinLatch::set` probes
+    /// the sleeper count and broadcasts, so the thief that finishes the
+    /// awaited job wakes this waiter directly (the timeout remains as the
+    /// safety net for a wake lost to the relaxed probe).
+    pub(crate) fn wait_until(&self, latch: &SpinLatch<'_>) {
         self.switch_to(Category::Idle);
         let mut spins = 0u32;
         while !latch.probe() {
@@ -282,7 +331,7 @@ impl WorkerThread {
                 unsafe { self.execute(job) };
                 spins = 0;
             } else {
-                self.idle_backoff(&mut spins, LATCH_POLL_SLEEP, || {
+                self.idle_backoff(&mut spins, || {
                     latch.probe() || self.registry.work_available(self.index)
                 });
             }
@@ -291,21 +340,22 @@ impl WorkerThread {
     }
 
     /// One idle round: spin, then yield, then sleep on the pool condvar
-    /// with `timeout` and `recheck` (see [`Sleep::sleep`]). Only a
-    /// producer-notified wake counts toward the `wakeups` statistic.
-    fn idle_backoff(
-        &self,
-        spins: &mut u32,
-        timeout: std::time::Duration,
-        recheck: impl FnOnce() -> bool,
-    ) {
+    /// with the [`DEEP_SLEEP`] safety-net timeout and `recheck` (see
+    /// [`Sleep::sleep`]). Only a producer-notified wake counts toward the
+    /// `wakeups` statistic.
+    fn idle_backoff(&self, spins: &mut u32, recheck: impl FnOnce() -> bool) {
+        // Idle path: publish counters every round, so failed steal attempts
+        // are as visible to snapshots as they were when bumped directly
+        // (one uncontended fetch_add per nonzero cell — the cost the work
+        // path no longer pays).
+        self.flush_counters();
         *spins += 1;
         if *spins < 10 {
             std::hint::spin_loop();
         } else if *spins < 50 {
             std::thread::yield_now();
-        } else if self.registry.sleep.sleep(timeout, recheck) == SleepOutcome::Notified {
-            bump!(self.stats(), wakeups);
+        } else if self.registry.sleep.sleep(DEEP_SLEEP, recheck) == SleepOutcome::Notified {
+            bump!(self.local, wakeups);
         }
     }
 
@@ -320,7 +370,7 @@ impl WorkerThread {
         // earmarked for our place.
         if self.registry.mode == SchedulerMode::NumaWs {
             if let Some(job) = self.registry.mailboxes[self.index].take() {
-                bump!(self.stats(), mailbox_takes);
+                bump!(self.local, mailbox_takes);
                 return Some(job);
             }
         }
@@ -341,7 +391,7 @@ impl WorkerThread {
     /// so a burst of installs fans out across sleepers.
     fn take_injected(&self, p: usize) -> Option<JobRef> {
         let (job, remaining) = self.registry.injectors[p].pop()?;
-        bump!(self.stats(), injector_takes);
+        bump!(self.local, injector_takes);
         if remaining > 0 {
             self.registry.sleep.wake_one();
         }
@@ -353,9 +403,9 @@ impl WorkerThread {
     fn steal_once(&self) -> Option<JobRef> {
         let dist = self.registry.dists[self.index].as_ref()?;
         let victim = dist.sample(self.next_random());
-        bump!(self.stats(), steal_attempts);
+        bump!(self.local, steal_attempts);
         if self.registry.map.socket_of(victim) != self.registry.map.socket_of(self.index) {
-            bump!(self.stats(), remote_steal_attempts);
+            bump!(self.local, remote_steal_attempts);
         }
 
         if self.registry.mode == SchedulerMode::NumaWs {
@@ -363,7 +413,7 @@ impl WorkerThread {
             let tails = self.next_random() & 1 == 0;
             if tails {
                 if let Some(job) = self.registry.mailboxes[victim].take() {
-                    bump!(self.stats(), mailbox_takes);
+                    bump!(self.local, mailbox_takes);
                     if !self.is_foreign(&job) {
                         // Outcome 2: earmarked for our socket — take it.
                         return Some(job);
@@ -380,10 +430,15 @@ impl WorkerThread {
         }
 
         let job = self.registry.stealers[victim].steal()?;
-        bump!(self.stats(), steals);
-        bump!(self.registry.worker_stats[victim], stolen_from);
+        bump!(self.local, steals);
+        // The only cross-worker counter write; it lands in the victim's
+        // thief-block cacheline, never on its owner-counter lines.
+        self.registry.worker_stats[victim]
+            .thief
+            .stolen_from
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if self.registry.map.socket_of(victim) != self.registry.map.socket_of(self.index) {
-            bump!(self.stats(), remote_steals);
+            bump!(self.local, remote_steals);
         }
         if self.registry.mode == SchedulerMode::NumaWs && self.is_foreign(&job) {
             return match self.pushback(job) {
@@ -396,20 +451,14 @@ impl WorkerThread {
 
     /// One PUSHBACK episode (paper §III-B): deposit `job` into the mailbox
     /// of a random worker on its designated place, retrying up to the
-    /// pushing threshold.
+    /// pushing threshold. Allocation-free: the candidate list was
+    /// precomputed at registry construction.
     pub(crate) fn pushback(&self, job: JobRef) -> PushOutcome {
         let place_idx = match job.place().index() {
             Some(p) => p % self.registry.map.num_places(),
             None => return PushOutcome::Kept(job),
         };
-        let candidates: Vec<usize> = self
-            .registry
-            .map
-            .workers_of_place(Place(place_idx))
-            .iter()
-            .copied()
-            .filter(|&w| w != self.index)
-            .collect();
+        let candidates: &[usize] = &self.registry.push_candidates[self.index][place_idx];
         if candidates.is_empty() {
             return PushOutcome::Kept(job);
         }
@@ -418,11 +467,11 @@ impl WorkerThread {
         let mut attempts = 0u32;
         let outcome = loop {
             attempts += 1;
-            bump!(self.stats(), push_attempts);
+            bump!(self.local, push_attempts);
             let r = candidates[(self.next_random() % candidates.len() as u64) as usize];
             match self.registry.mailboxes[r].try_deposit(job) {
                 Ok(()) => {
-                    bump!(self.stats(), push_deliveries);
+                    bump!(self.local, push_deliveries);
                     // The deposit target may be asleep. Broadcast, as
                     // inject does: a mailbox is visible only to its owner
                     // (and to coin-flip thieves), so a single notify could
@@ -434,7 +483,7 @@ impl WorkerThread {
                 Err(back) => job = back,
             }
             if attempts > self.registry.push_threshold {
-                bump!(self.stats(), push_failures);
+                bump!(self.local, push_failures);
                 break PushOutcome::Kept(job);
             }
         };
@@ -443,19 +492,35 @@ impl WorkerThread {
     }
 }
 
+/// One SplitMix64 step (Steele, Lea, Flood 2014) over a plain cell — two
+/// loads and a store, no borrow-flag traffic. Deliberately the same stream
+/// the vendored `SmallRng` produces for the same seed, so seeded victim
+/// selection stayed deterministic across the `RefCell<SmallRng>` → `Cell`
+/// migration; the test below pins the equality (the duplication cannot be
+/// shared, because `splitmix64` is not part of the real `rand` API the
+/// vendored stand-in mirrors).
+#[inline]
+fn splitmix64(state: &Cell<u64>) -> u64 {
+    let s = state.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    state.set(s);
+    let mut z = s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Body of each worker OS thread.
 pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorker<JobRef>) {
     let worker = WorkerThread {
-        rng: std::cell::RefCell::new(SmallRng::seed_from_u64(
-            registry.seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15),
-        )),
+        rng: Cell::new(registry.seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15)),
         clock: Clock::new(registry.stats_enabled, Category::Idle),
+        local: LocalCounters::default(),
         registry,
         index,
         deque,
     };
     WORKER.with(|w| w.set(&worker as *const WorkerThread));
-    worker.registry.started.fetch_add(1, Ordering::Release);
+    worker.registry.note_started();
 
     let mut spins = 0u32;
     loop {
@@ -482,10 +547,30 @@ pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorke
         }
         // Deep sleep until a producer signals (inject, deposit, or a deque
         // push while we sleep); the timeout is only a safety net.
-        worker.idle_backoff(&mut spins, DEEP_SLEEP, || {
+        worker.idle_backoff(&mut spins, || {
             worker.registry.work_available(index) || worker.registry.is_shutting_down()
         });
     }
+    worker.flush_counters();
     worker.clock.flush(worker.stats());
     WORKER.with(|w| w.set(std::ptr::null()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::splitmix64;
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+    use std::cell::Cell;
+
+    #[test]
+    fn splitmix64_matches_vendored_smallrng_stream() {
+        for seed in [0u64, 1, 0x5EED_CAFE, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            let cell = Cell::new(seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for i in 0..64 {
+                assert_eq!(splitmix64(&cell), rng.next_u64(), "seed {seed:#x}, draw {i}");
+            }
+        }
+    }
 }

@@ -9,7 +9,10 @@
 //! [`WorkerThread::push`](crate::registry::WorkerThread) on a deque push
 //! made while any worker sleeps (the "first push after quiescence" — the
 //! sleeper count is checked with one relaxed load, so the no-sleeper spawn
-//! fast path stays free).
+//! fast path stays free), and `SpinLatch::set` when a thief finishes a
+//! stolen job whose joiner may have gone to sleep (same relaxed probe;
+//! join waiters therefore deep-sleep like everyone else instead of polling
+//! their latch in bounded slices).
 //!
 //! ## Lost-wakeup protocol
 //!
@@ -27,15 +30,12 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::time::Duration;
 
-/// How long a main-loop sleeper waits before re-checking on its own. Pure
-/// safety net: every work-producing event signals the condvar explicitly.
+/// How long any sleeper (main loop or join waiter) waits before re-checking
+/// on its own. Pure safety net: every work-producing event — ingress,
+/// mailbox deposit, first push after quiescence, and a join latch set —
+/// signals the condvar explicitly; the timeout only bounds the cost of a
+/// wake lost to a stale relaxed sleeper probe.
 pub(crate) const DEEP_SLEEP: Duration = Duration::from_millis(10);
-
-/// How long a `wait_until` (join slow path) sleeper waits. Its latch is set
-/// with a plain atomic store — no signal — so the timeout bounds the latch
-/// detection latency exactly as the old 50µs nap did; unlike the nap,
-/// injected or deposited work still wakes it immediately.
-pub(crate) const LATCH_POLL_SLEEP: Duration = Duration::from_micros(50);
 
 /// How one [`Sleep::sleep`] call ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

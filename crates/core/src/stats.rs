@@ -6,7 +6,31 @@
 //! (failed steal attempts and backoff). Workers account time by switching a
 //! per-thread category clock at protocol transitions, so time spent inside
 //! nested jobs is never double-counted.
+//!
+//! ## Contention-free counting (work-first principle)
+//!
+//! Counters follow a two-tier design so the work path never touches shared
+//! memory with an atomic read-modify-write:
+//!
+//! - Each worker accumulates its own counters in plain [`Cell`]s
+//!   ([`LocalCounters`], owned by the `WorkerThread`) — a non-atomic
+//!   register/L1 increment per event, which the compiler may coalesce.
+//! - The cells are **flushed** into the shared [`WorkerStats`] atomics at
+//!   steal-path transitions: every category switch (i.e. around each
+//!   stolen/injected job), before a worker commits to sleeping, *before a
+//!   job sets its completion latch*, and at worker exit. The
+//!   flush-before-latch-set rule is what keeps externally observed
+//!   snapshots exact: when `install` returns, every counter bumped by work
+//!   contributing to that root has been flushed (each worker publishes its
+//!   deltas before publishing the completion the root transitively waits
+//!   on), so conservation laws like `spawns + spawn_overflows = joins` hold
+//!   at the moment a caller can ask.
+//! - [`WorkerStats`] is padded to 128 bytes and the thief-written counter
+//!   (`stolen_from`, the only cross-worker write) lives in its own padded
+//!   [`ThiefStats`] block, so a steal dirties neither the victim's
+//!   owner-counter line nor a neighbouring worker's stats.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
@@ -21,8 +45,22 @@ pub(crate) enum Category {
     Idle,
 }
 
-/// Shared atomic counters for one worker.
+/// Counters written into this worker's stats by *other* workers (thieves).
+/// Padded onto its own cacheline block so a steal never dirties the
+/// victim's own counter lines.
 #[derive(Debug, Default)]
+#[repr(align(128))]
+pub(crate) struct ThiefStats {
+    pub stolen_from: AtomicU64,
+}
+
+/// Shared counters for one worker. All fields except [`ThiefStats`] are
+/// written only by the owning worker (flushes from its [`LocalCounters`]
+/// and clock), so readers race only with single-writer relaxed stores.
+/// The 128-byte alignment keeps adjacent workers' stats off each other's
+/// cachelines in the registry's `Vec<WorkerStats>`.
+#[derive(Debug, Default)]
+#[repr(C, align(128))] // repr(C): keep the thief block *after* the owner fields
 pub(crate) struct WorkerStats {
     pub work_ns: AtomicU64,
     pub sched_ns: AtomicU64,
@@ -35,19 +73,69 @@ pub(crate) struct WorkerStats {
     pub remote_steal_attempts: AtomicU64,
     pub steals: AtomicU64,
     pub remote_steals: AtomicU64,
-    pub stolen_from: AtomicU64,
     pub mailbox_takes: AtomicU64,
     pub push_attempts: AtomicU64,
     pub push_deliveries: AtomicU64,
     pub push_failures: AtomicU64,
+    /// Thief-written block, on its own cacheline(s).
+    pub thief: ThiefStats,
 }
 
+/// Per-worker counter accumulator: plain cells, owned by the worker thread,
+/// bumped on the work path without any atomic operation and flushed into
+/// the shared [`WorkerStats`] at steal-path transitions (see module docs
+/// for the flush points and the exactness argument).
+#[derive(Debug, Default)]
+pub(crate) struct LocalCounters {
+    pub spawns: Cell<u64>,
+    pub spawn_overflows: Cell<u64>,
+    pub injector_takes: Cell<u64>,
+    pub wakeups: Cell<u64>,
+    pub steal_attempts: Cell<u64>,
+    pub remote_steal_attempts: Cell<u64>,
+    pub steals: Cell<u64>,
+    pub remote_steals: Cell<u64>,
+    pub mailbox_takes: Cell<u64>,
+    pub push_attempts: Cell<u64>,
+    pub push_deliveries: Cell<u64>,
+    pub push_failures: Cell<u64>,
+}
+
+/// Bumps a [`LocalCounters`] cell: a plain, non-atomic increment.
 macro_rules! bump {
-    ($stats:expr, $field:ident) => {
-        $stats.$field.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-    };
+    ($local:expr, $field:ident) => {{
+        let cell = &$local.$field;
+        cell.set(cell.get().wrapping_add(1));
+    }};
 }
 pub(crate) use bump;
+
+impl LocalCounters {
+    /// Drains every nonzero cell into the shared atomics. The owner is the
+    /// only flusher, so each `fetch_add` is uncontended; skipping zero
+    /// deltas keeps untouched counters' cachelines clean.
+    pub(crate) fn flush_into(&self, stats: &WorkerStats) {
+        #[inline]
+        fn drain(cell: &Cell<u64>, into: &AtomicU64) {
+            let delta = cell.take();
+            if delta != 0 {
+                into.fetch_add(delta, Relaxed);
+            }
+        }
+        drain(&self.spawns, &stats.spawns);
+        drain(&self.spawn_overflows, &stats.spawn_overflows);
+        drain(&self.injector_takes, &stats.injector_takes);
+        drain(&self.wakeups, &stats.wakeups);
+        drain(&self.steal_attempts, &stats.steal_attempts);
+        drain(&self.remote_steal_attempts, &stats.remote_steal_attempts);
+        drain(&self.steals, &stats.steals);
+        drain(&self.remote_steals, &stats.remote_steals);
+        drain(&self.mailbox_takes, &stats.mailbox_takes);
+        drain(&self.push_attempts, &stats.push_attempts);
+        drain(&self.push_deliveries, &stats.push_deliveries);
+        drain(&self.push_failures, &stats.push_failures);
+    }
+}
 
 impl WorkerStats {
     pub(crate) fn add_time(&self, cat: Category, ns: u64) {
@@ -72,7 +160,7 @@ impl WorkerStats {
             remote_steal_attempts: self.remote_steal_attempts.load(Relaxed),
             steals: self.steals.load(Relaxed),
             remote_steals: self.remote_steals.load(Relaxed),
-            stolen_from: self.stolen_from.load(Relaxed),
+            stolen_from: self.thief.stolen_from.load(Relaxed),
             mailbox_takes: self.mailbox_takes.load(Relaxed),
             push_attempts: self.push_attempts.load(Relaxed),
             push_deliveries: self.push_deliveries.load(Relaxed),
@@ -92,7 +180,7 @@ impl WorkerStats {
         self.remote_steal_attempts.store(0, Relaxed);
         self.steals.store(0, Relaxed);
         self.remote_steals.store(0, Relaxed);
-        self.stolen_from.store(0, Relaxed);
+        self.thief.stolen_from.store(0, Relaxed);
         self.mailbox_takes.store(0, Relaxed);
         self.push_attempts.store(0, Relaxed);
         self.push_deliveries.store(0, Relaxed);
@@ -122,10 +210,11 @@ pub struct WorkerStatsSnapshot {
     /// as a last resort, a remote one).
     pub injector_takes: u64,
     /// Times a sleeping worker was woken by a producer's signal (inject,
-    /// mailbox deposit, or a deque push made while it slept). Safety-net
-    /// timeouts are not counted, so this is zero both under sustained load
-    /// (nobody sleeps) and under sustained idleness (nobody signals); high
-    /// `wakeups` with low takes/steals indicates wake churn.
+    /// mailbox deposit, a deque push made while it slept, or a join latch
+    /// set while its waiter slept). Safety-net timeouts are not counted, so
+    /// this is zero both under sustained load (nobody sleeps) and under
+    /// sustained idleness (nobody signals); high `wakeups` with low
+    /// takes/steals indicates wake churn.
     pub wakeups: u64,
     /// Steal attempts made by this worker.
     pub steal_attempts: u64,
@@ -224,17 +313,13 @@ impl PoolStats {
 #[derive(Debug)]
 pub(crate) struct Clock {
     enabled: bool,
-    last: std::cell::Cell<Instant>,
-    cat: std::cell::Cell<Category>,
+    last: Cell<Instant>,
+    cat: Cell<Category>,
 }
 
 impl Clock {
     pub(crate) fn new(enabled: bool, cat: Category) -> Self {
-        Clock {
-            enabled,
-            last: std::cell::Cell::new(Instant::now()),
-            cat: std::cell::Cell::new(cat),
-        }
+        Clock { enabled, last: Cell::new(Instant::now()), cat: Cell::new(cat) }
     }
 
     /// Switches category, attributing elapsed time to the previous one.
@@ -275,8 +360,44 @@ mod tests {
         let s = WorkerStats::default();
         s.work_ns.store(10, Relaxed);
         s.push_failures.store(4, Relaxed);
+        s.thief.stolen_from.store(2, Relaxed);
         s.reset();
         assert_eq!(s.snapshot(), WorkerStatsSnapshot::default());
+    }
+
+    #[test]
+    fn local_counters_flush_and_drain() {
+        let s = WorkerStats::default();
+        let local = LocalCounters::default();
+        bump!(local, spawns);
+        bump!(local, spawns);
+        bump!(local, steal_attempts);
+        local.flush_into(&s);
+        assert_eq!(s.snapshot().spawns, 2);
+        assert_eq!(s.snapshot().steal_attempts, 1);
+        // Cells drained: a second flush adds nothing.
+        local.flush_into(&s);
+        assert_eq!(s.snapshot().spawns, 2);
+        // Deltas accumulate across flushes.
+        bump!(local, spawns);
+        local.flush_into(&s);
+        assert_eq!(s.snapshot().spawns, 3);
+    }
+
+    #[test]
+    fn worker_stats_do_not_share_cachelines() {
+        // The registry stores `Vec<WorkerStats>`; 128-byte alignment keeps
+        // neighbouring workers (and the thief-written block) off each
+        // other's cachelines.
+        assert_eq!(std::mem::align_of::<WorkerStats>(), 128);
+        assert_eq!(std::mem::size_of::<WorkerStats>() % 128, 0);
+        assert_eq!(std::mem::align_of::<ThiefStats>(), 128);
+        // The thief block must not share its 128-byte block with the
+        // owner-written fields.
+        let s = WorkerStats::default();
+        let base = &s as *const _ as usize;
+        let thief = &s.thief as *const _ as usize;
+        assert!(thief - base >= 128, "stolen_from must sit in its own padded block");
     }
 
     #[test]

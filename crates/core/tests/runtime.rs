@@ -240,7 +240,11 @@ fn biased_mode_prefers_local_steals() {
             .seed(1234)
             .build()
             .unwrap();
-        for _ in 0..4 {
+        // 8 roots, not 4: since join waiters deep-sleep instead of polling
+        // in 50µs slices, an idle worker makes far fewer (cheaper) steal
+        // attempts per unit time, so the >100-attempt sample floor needs
+        // more work to clear with margin.
+        for _ in 0..8 {
             pool.install(|| fib(23));
         }
         let s = pool.stats();

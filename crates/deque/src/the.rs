@@ -1,4 +1,4 @@
-//! The Cilk-5 THE protocol deque.
+//! The Cilk-5 THE protocol deque, with Chase-Lev-style memory orderings.
 //!
 //! Protocol summary (simplified H/T form, as in the Cilk-5 paper §5 and
 //! reused unchanged by NUMA-WS):
@@ -10,17 +10,49 @@
 //!   reads `T`, backing off (`H -= 1`) if it overshot.
 //!
 //! Because each side publishes its claim before reading the other's index,
-//! sequential consistency guarantees at most one of them can believe it owns
-//! the last item; the lock arbitrates the remaining doubt. The owner
-//! therefore pays two uncontended atomic accesses per pop on the fast path —
-//! the work-first principle in miniature.
+//! at most one of them can believe it owns the last item; the lock
+//! arbitrates the remaining doubt.
+//!
+//! ## Memory orderings (work-first: fences live on the steal path)
+//!
+//! The claim-before-read handshake needs *some* ordering, but not `SeqCst`
+//! on every access. The orderings used here, and the invariant each one
+//! preserves (the full argument lives in DESIGN.md §4):
+//!
+//! - **`push` is fence-free**: a `Relaxed` tail read (the owner is the only
+//!   tail writer), an `Acquire` head read (pairs with the thief's `Release`
+//!   head update so a reused ring slot is only overwritten after the thief
+//!   that emptied it is done reading), and a `Release` tail store (publishes
+//!   the slot write to any thief that acquires the new tail). On x86 these
+//!   all compile to plain `mov`s — an uncontended spawn costs two cacheline
+//!   writes, no `mfence`/`xchg`.
+//! - **`pop` pays one `SeqCst` fence**, between publishing the claim
+//!   (`T -= 1`, a `Release` store) and reading `H`. The thief's mirror-image
+//!   fence sits between its `H += 1` store and its tail read. This is the
+//!   store-buffer pattern: the two fences guarantee at least one side
+//!   observes the other's claim, so both can never take the last item on
+//!   their unfenced fast paths; whoever observes the conflict defers to the
+//!   lock, where the indices are stable.
+//! - **Thief accesses are `Relaxed` under the lock** except the `Release`
+//!   head stores (owner pairs with them) and the `Acquire` tail read (pairs
+//!   with the owner's `Release` tail stores, making the slot contents
+//!   visible before they are moved out).
+//!
+//! All owner tail stores are `Release` — including `pop`'s claim and
+//! empty-restore — because under the C++20/Rust model an `Acquire` load
+//! synchronizes only with the *specific* store it reads (plain stores by
+//! the same thread no longer continue a release sequence); a thief may
+//! commit after reading any of them.
 
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicIsize, Ordering::SeqCst};
+use std::sync::atomic::{
+    fence, AtomicIsize,
+    Ordering::{Acquire, Relaxed, Release, SeqCst},
+};
 use std::sync::Arc;
 
 /// Error returned by [`TheWorker::push`] when the deque is at capacity,
@@ -146,7 +178,8 @@ pub fn the_deque<T>(capacity: usize) -> (TheWorker<T>, TheStealer<T>) {
 }
 
 impl<T> TheWorker<T> {
-    /// Pushes `v` at the tail (the owner's end). Lock-free.
+    /// Pushes `v` at the tail (the owner's end). Lock-free and fence-free:
+    /// on x86 the fast path is two plain cacheline writes (slot + tail).
     ///
     /// # Errors
     ///
@@ -154,40 +187,63 @@ impl<T> TheWorker<T> {
     /// caller typically executes the work inline instead.
     pub fn push(&self, v: T) -> Result<(), Full<T>> {
         let inner = &*self.inner;
-        let t = inner.tail.load(SeqCst);
-        let h = inner.head.load(SeqCst);
+        // Only the owner writes the tail, so a Relaxed read is exact.
+        let t = inner.tail.load(Relaxed);
+        // Acquire pairs with the thieves' Release head stores: if we observe
+        // head advanced past a slot we are about to reuse, the thief that
+        // advanced it has finished reading that slot (see the wrap-around
+        // note below).
+        let h = inner.head.load(Acquire);
         // A thief that is about to back off holds head one *above* its real
         // value for an instant, so an unlocked read can make a full deque
         // look like it has one free slot. The unlocked fast path is
         // therefore only trusted with strictly more than one slot of slack;
         // on the nearly-full edge we re-read head under the lock, where it
-        // is stable, and decide exactly.
+        // is stable, and decide exactly. This guard also closes the
+        // wrap-around race: reusing slot `t & mask` while the thief that
+        // emptied it (at index `t - capacity`) is still reading requires
+        // observing head ≥ two past that index, and the second advance was
+        // Release-published by a thief that acquired the lock *after* the
+        // reading thief released it — so the read happened-before our write.
         if (t - h) as usize >= inner.mask {
             let _guard = inner.lock.lock();
-            let h = inner.head.load(SeqCst);
+            // Stable under the lock (head moves only lock-held); the lock
+            // acquisition synchronizes with the last thief's release of it.
+            let h = inner.head.load(Relaxed);
             if (t - h) as usize > inner.mask {
                 return Err(Full(v));
             }
             // SAFETY: lock held, so t - h is exact and index t is vacant.
             unsafe { inner.put(t, v) };
-            inner.tail.store(t + 1, SeqCst);
+            inner.tail.store(t + 1, Release);
             return Ok(());
         }
         // SAFETY: real occupancy is at most (t - h) + 1 <= mask, so index t
         // is vacant; only the owner writes the tail.
         unsafe { inner.put(t, v) };
-        inner.tail.store(t + 1, SeqCst);
+        // Release publishes the slot write to any thief that acquires the
+        // new tail value.
+        inner.tail.store(t + 1, Release);
         Ok(())
     }
 
     /// Pops the newest item from the tail. Lock-free unless the deque might
     /// be down to its last item, in which case the thief lock arbitrates.
+    /// Costs one `SeqCst` fence — the pop-claim handshake.
     pub fn pop(&self) -> Option<T> {
         let inner = &*self.inner;
         // Publish our claim (T -= 1) before reading H — the THE handshake.
-        let t = inner.tail.load(SeqCst) - 1;
-        inner.tail.store(t, SeqCst);
-        let h = inner.head.load(SeqCst);
+        // Release, not Relaxed: a thief may commit a steal after
+        // acquire-reading this very store (C++20 release sequences do not
+        // extend through later plain stores, so every owner tail store a
+        // thief can read must itself carry the release).
+        let t = inner.tail.load(Relaxed) - 1;
+        inner.tail.store(t, Release);
+        // The handshake fence: pairs with the thief's fence between its
+        // head store and tail read. At least one side sees the other's
+        // claim; that side takes the locked path.
+        fence(SeqCst);
+        let h = inner.head.load(Relaxed);
         if h <= t {
             // Fast path: more than one item, or a thief has backed off.
             // SAFETY: h <= t means index t is still ours; thieves only take
@@ -196,7 +252,7 @@ impl<T> TheWorker<T> {
         }
         // Possible conflict on the last item; arbitrate under the lock.
         let _guard = inner.lock.lock();
-        let h = inner.head.load(SeqCst);
+        let h = inner.head.load(Relaxed);
         if h <= t {
             // The thief backed off (or never was): the item is ours.
             // SAFETY: lock held, h <= t.
@@ -204,7 +260,7 @@ impl<T> TheWorker<T> {
         }
         // Deque empty (the last item was stolen, or there was none).
         // Restore the canonical empty state tail == head.
-        inner.tail.store(h, SeqCst);
+        inner.tail.store(h, Release);
         None
     }
 
@@ -233,14 +289,21 @@ impl<T> TheStealer<T> {
     pub fn steal(&self) -> Option<T> {
         let inner = &*self.inner;
         let _guard = inner.lock.lock();
+        // Head is stable under the lock; Relaxed read is exact.
+        let h = inner.head.load(Relaxed);
         // Publish our claim (H += 1) before reading T — the THE handshake.
-        let h = inner.head.load(SeqCst);
-        inner.head.store(h + 1, SeqCst);
-        let t = inner.tail.load(SeqCst);
+        // Release pairs with the owner push's Acquire head read (the
+        // wrap-around edge); the fence below mirrors the owner pop's.
+        inner.head.store(h + 1, Release);
+        fence(SeqCst);
+        // Acquire pairs with the owner's Release tail stores: reading any
+        // tail value t makes every slot below t visible, including the one
+        // we are about to move out.
+        let t = inner.tail.load(Acquire);
         if h + 1 > t {
             // Overshot: empty, or racing the owner for the last item (the
             // owner already decremented T). Back off; the owner wins.
-            inner.head.store(h, SeqCst);
+            inner.head.store(h, Release);
             return None;
         }
         // SAFETY: h < t: index h is committed to us; the owner pops only
@@ -261,8 +324,9 @@ impl<T> TheStealer<T> {
 }
 
 fn len<T>(inner: &Inner<T>) -> usize {
-    let t = inner.tail.load(SeqCst);
-    let h = inner.head.load(SeqCst);
+    // Racy by contract; Relaxed is as good as any ordering for a snapshot.
+    let t = inner.tail.load(Relaxed);
+    let h = inner.head.load(Relaxed);
     (t - h).max(0) as usize
 }
 
@@ -432,5 +496,53 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = the_deque::<u8>(0);
+    }
+
+    #[test]
+    fn tiny_deque_wraparound_under_thieves() {
+        // A capacity-2 ring forces constant slot reuse, hammering the
+        // wrap-around edge the push-side Acquire/Release pairing protects.
+        const ITEMS: u64 = 30_000;
+        let (w, s) = the_deque::<u64>(2);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let (stolen, mut popped) = std::thread::scope(|scope| {
+            let thief = {
+                let s = s.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        if let Some(v) = s.steal() {
+                            local.push(v);
+                        } else if done.load(SeqCst) {
+                            break;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    local
+                })
+            };
+            let mut popped = Vec::new();
+            let mut next = 0u64;
+            while next < ITEMS {
+                match w.push(next) {
+                    Ok(()) => next += 1,
+                    Err(Full(_)) => {
+                        if let Some(v) = w.pop() {
+                            popped.push(v);
+                        }
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                popped.push(v);
+            }
+            done.store(true, SeqCst);
+            (thief.join().unwrap(), popped)
+        });
+        popped.extend(stolen);
+        popped.sort_unstable();
+        assert_eq!(popped, (0..ITEMS).collect::<Vec<_>>(), "every item exactly once");
     }
 }

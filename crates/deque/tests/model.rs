@@ -1,9 +1,13 @@
 //! Property tests: a THE deque driven sequentially must behave exactly like
-//! a `VecDeque` with push_back / pop_back (owner) / pop_front (thief).
+//! a `VecDeque` with push_back / pop_back (owner) / pop_front (thief) —
+//! plus concurrent stress tests asserting the exactly-once guarantee under
+//! the relaxed memory orderings (every pushed item is popped or stolen
+//! exactly once, with multiple thieves racing the owner).
 
-use nws_deque::the_deque;
+use nws_deque::{the_deque, Full};
 use proptest::prelude::*;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -61,4 +65,91 @@ proptest! {
         }
         prop_assert_eq!(stolen, values);
     }
+}
+
+/// Drives one owner against `thieves` concurrent thieves for `items`
+/// uniquely numbered items, with the owner alternating between push bursts
+/// and pop bursts (the ping-pong keeps the deque near-empty so the
+/// last-item arbitration and thief back-off paths fire constantly, not
+/// just the steady-state bulk paths). Returns all items each side got.
+fn ping_pong(items: u64, thieves: usize, capacity: usize, burst: u64) -> Vec<u64> {
+    let (w, s) = the_deque::<u64>(capacity);
+    let done = AtomicBool::new(false);
+    let mut harvested: Vec<u64> = Vec::with_capacity(items as usize);
+    let stolen: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..thieves)
+            .map(|_| {
+                let s = s.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        if let Some(v) = s.steal() {
+                            local.push(v);
+                        } else if done.load(SeqCst) {
+                            break;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut next = 0u64;
+        while next < items {
+            // Push burst…
+            let target = (next + burst).min(items);
+            while next < target {
+                match w.push(next) {
+                    Ok(()) => next += 1,
+                    Err(Full(_)) => {
+                        if let Some(v) = w.pop() {
+                            harvested.push(v);
+                        }
+                    }
+                }
+            }
+            // …then pop burst (ping-pong): drain roughly half of what the
+            // thieves left us, hammering the pop-claim handshake.
+            for _ in 0..burst / 2 {
+                if let Some(v) = w.pop() {
+                    harvested.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            harvested.push(v);
+        }
+        done.store(true, SeqCst);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for mut v in stolen {
+        harvested.append(&mut v);
+    }
+    harvested
+}
+
+/// The acceptance property for the relaxed orderings: across ≥10k
+/// operations with multiple thieves, every pushed item comes out exactly
+/// once — no loss (a steal and a pop both giving up on the same item) and
+/// no duplication (both taking it).
+#[test]
+fn multi_thief_ping_pong_exactly_once() {
+    const ITEMS: u64 = 30_000; // ≥10k pushes, plus as many pops/steals
+    let mut all = ping_pong(ITEMS, 4, 256, 64);
+    all.sort_unstable();
+    assert_eq!(all.len() as u64, ITEMS, "lost or duplicated items");
+    assert_eq!(all, (0..ITEMS).collect::<Vec<_>>(), "every item exactly once");
+}
+
+/// Same property on a tiny ring, where every push reuses a slot a thief
+/// may still be reading — the wrap-around edge the push-side
+/// Acquire/Release head pairing protects.
+#[test]
+fn multi_thief_ping_pong_tiny_ring() {
+    const ITEMS: u64 = 10_000;
+    let mut all = ping_pong(ITEMS, 3, 4, 8);
+    all.sort_unstable();
+    assert_eq!(all, (0..ITEMS).collect::<Vec<_>>(), "every item exactly once");
 }
