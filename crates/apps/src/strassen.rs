@@ -217,7 +217,7 @@ pub fn mul_blocked_parallel(a: &BlockedZ<f64>, b: &BlockedZ<f64>, params: Params
 /// The paper's rejected alternative: an **eight-way divide at the top
 /// level** (hintable, one quadrant product pair per place) with the
 /// seven-way Strassen recursion only below. §V-A: "the top-eight-way
-/// version indeed [has] less work inflation, but at the expense of 15%
+/// version indeed \[has\] less work inflation, but at the expense of 15%
 /// increases in overall T1, because we are not getting the O(n^lg7) work
 /// at the top level" — so the paper ships the hint-free version instead.
 /// This implementation exists to reproduce that trade-off

@@ -4,7 +4,7 @@
 //! so the repo can carry a perf trajectory across PRs (`BENCH_*.json`).
 //!
 //! Run: `cargo run --release -p nws_bench --bin bench_snapshot`
-//! (writes `BENCH_pr3.json` in the current directory; `--out PATH` to
+//! (writes `BENCH_pr4.json` in the current directory; `--out PATH` to
 //! redirect, `--quick` for the CI smoke configuration, which shrinks every
 //! workload so a broken harness fails the pipeline in seconds).
 //!
@@ -89,7 +89,7 @@ fn tree(d: u32) -> u64 {
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr3.json");
+    let mut out = String::from("BENCH_pr4.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -171,6 +171,36 @@ fn main() {
         });
     }
 
+    // --- scope spawn/drain overhead: ns per task through the structured
+    // scope path (CountLatch increment + heap job + deque push + LIFO
+    // drain at scope exit) on one worker, no steals possible — the scope
+    // analogue of spawn_join_fib.
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let (samples, n) = if quick { (5, 512u64) } else { (31, 4096u64) };
+        let pool = Pool::builder().workers(1).stats(false).build().unwrap();
+        let median = sample_median(samples, n, || {
+            let acc = AtomicU64::new(0);
+            let acc = &acc;
+            pool.install(|| {
+                numa_ws::scope(|s| {
+                    for i in 0..n {
+                        s.spawn(move |_| {
+                            acc.fetch_add(std::hint::black_box(i), Ordering::Relaxed);
+                        });
+                    }
+                })
+            });
+            assert_eq!(acc.load(Ordering::Relaxed), n * (n - 1) / 2);
+        });
+        results.push(BenchResult {
+            name: "scope_spawn",
+            median_ns_per_op: median,
+            ops_per_sample: n,
+            samples,
+        });
+    }
+
     // --- steal protocol end-to-end: fine-grained tree across 2 places
     // under NUMA-WS (coin flip + pushback machinery engaged); ns per leaf.
     {
@@ -230,7 +260,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"bench_snapshot/v1\",\n");
-    json.push_str("  \"pr\": \"pr3\",\n");
+    json.push_str("  \"pr\": \"pr4\",\n");
     json.push_str(&format!("  \"profile\": \"{profile}\",\n"));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));

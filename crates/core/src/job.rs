@@ -1,11 +1,21 @@
 //! Type-erased jobs stored in deques and mailboxes.
 //!
-//! A [`JobRef`] is the runtime's "frame": a raw pointer to a job living on
-//! some worker's stack plus its execute thunk and the **place hint** the
-//! NUMA-WS protocol routes by. The shadow-frame/full-frame economy of the
-//! paper appears here as: pushing a `JobRef` costs two words of deque
-//! traffic (shadow), while a *steal* is where the runtime pays for latches,
-//! result plumbing, and possibly a PUSHBACK episode (promotion to full).
+//! A [`JobRef`] is the runtime's "frame": a raw pointer to a job plus its
+//! execute thunk and the **place hint** the NUMA-WS protocol routes by.
+//! The shadow-frame/full-frame economy of the paper appears here as:
+//! pushing a `JobRef` costs two words of deque traffic (shadow), while a
+//! *steal* is where the runtime pays for latches, result plumbing, and
+//! possibly a PUSHBACK episode (promotion to full).
+//!
+//! Three concrete representations implement [`Job`]: [`StackJob`] (a
+//! `join` branch / `install` root, owned by a blocked caller frame),
+//! [`HeapJob`] (a fire-and-forget `Pool::spawn`, owning its closure), and
+//! `ScopeJob` (a `Scope::spawn`, heap-owned like `HeapJob` but reporting
+//! back to a waiting scope — see `crate::scope`). The ownership split is
+//! what the shutdown protocol leans on: stack jobs always have a live
+//! waiter, so only the heap representations can be "stranded", and for
+//! them executing *is* reclaiming — the drains in `worker_main` and
+//! `Mailbox::drop` run leftovers rather than leak them.
 
 use crate::latch::Latch;
 use nws_topology::Place;
@@ -200,8 +210,10 @@ where
     ///
     /// The returned ref must be executed exactly once; executing reclaims
     /// the allocation, so the ref is dead afterwards. A ref that is never
-    /// executed leaks the box (the shutdown drain in `worker_main`
-    /// guarantees the runtime never strands one).
+    /// executed leaks the box — the shutdown path therefore *runs*
+    /// leftovers wherever one can hide: the queue re-check and mailbox
+    /// drain in `worker_main`, and `Mailbox::drop` as the final net for a
+    /// deposit that raced the drain.
     pub(crate) unsafe fn into_job_ref(self: Box<Self>, place: Place) -> JobRef {
         JobRef::new(Box::into_raw(self), place)
     }

@@ -100,20 +100,28 @@ where
     // lives on our stack and a thief may be running it right now.
     let status_a = panic::catch_unwind(AssertUnwindSafe(a));
 
-    let result_b: Result<RB, Box<dyn Any + Send>> = match worker.pop() {
-        Some(popped) => {
-            // Steals take the oldest entry first, so if our tail entry is
-            // still here it *must* be job_b (every nested join below `a`
-            // popped its own entry before returning).
-            debug_assert_eq!(popped.id(), id_b, "deque tail must be our own spawn");
-            // SAFETY: popped unexecuted JobRef; job_b is alive.
-            panic::catch_unwind(AssertUnwindSafe(|| unsafe { job_b.run_inline() }))
-        }
-        None => {
-            // Stolen: steal-while-waiting until the thief finishes.
-            worker.wait_until(&job_b.latch);
-            // SAFETY: latch set — the thief stored the result.
-            unsafe { job_b.into_result() }
+    let result_b: Result<RB, Box<dyn Any + Send>> = loop {
+        match worker.pop() {
+            Some(popped) if popped.id() == id_b => {
+                // The common un-stolen case: our spawn is still the tail.
+                // SAFETY: popped unexecuted JobRef; job_b is alive.
+                break panic::catch_unwind(AssertUnwindSafe(|| unsafe { job_b.run_inline() }));
+            }
+            Some(other) => {
+                // Not our spawn: `a` (or a waiting frame below us) pushed
+                // jobs it did not consume — e.g. scope spawns, which
+                // outlive the frame that pushed them by design. Execute
+                // depth-first and keep looking; our entry, if un-stolen,
+                // sits further down.
+                // SAFETY: protocol-found jobs are live and unexecuted.
+                unsafe { worker.execute(other) };
+            }
+            None => {
+                // Stolen: steal-while-waiting until the thief finishes.
+                worker.wait_until(&job_b.latch);
+                // SAFETY: latch set — the thief stored the result.
+                break unsafe { job_b.into_result() };
+            }
         }
     };
 

@@ -2,12 +2,22 @@
 
 use crate::sleep::Sleep;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A one-shot latch: starts unset, becomes set exactly once.
 pub(crate) trait Latch {
     /// Marks the latch as set (release semantics).
     fn set(&self);
+}
+
+/// A completion condition a worker can steal-while-waiting on
+/// ([`WorkerThread::wait_until`](crate::registry::WorkerThread)): `join`
+/// waits on a [`SpinLatch`], `scope` on a [`CountLatch`].
+pub(crate) trait Probe {
+    /// Whether the awaited completion has happened (acquire semantics, so
+    /// data written before the completing store is visible after a `true`
+    /// probe).
+    fn probe(&self) -> bool;
 }
 
 /// A latch probed by spinning workers that steal while they wait.
@@ -39,6 +49,13 @@ impl<'a> SpinLatch<'a> {
     }
 }
 
+impl Probe for SpinLatch<'_> {
+    #[inline]
+    fn probe(&self) -> bool {
+        SpinLatch::probe(self)
+    }
+}
+
 impl Latch for SpinLatch<'_> {
     #[inline]
     fn set(&self) {
@@ -56,6 +73,59 @@ impl Latch for SpinLatch<'_> {
         if sleep.num_sleepers() > 0 {
             sleep.wake_all();
         }
+    }
+}
+
+/// A counting latch: "set" once its count returns to zero.
+///
+/// This is the completion gate of a [`scope`](crate::scope): it starts at
+/// one (the scope body itself), each `Scope::spawn` increments it, and each
+/// finished spawn — plus the body, on its way out — decrements it. The
+/// scope owner steals-while-waiting until the count drains.
+///
+/// Unlike [`SpinLatch`] the sleeper-aware wake is **not** built into the
+/// decrement: the latch lives inside the `Scope` on the owner's stack, and
+/// the instant the count hits zero the owner may return and pop that frame,
+/// so the completing thread must not touch any `Scope` (or latch) memory
+/// afterwards — including a `sleep` reference stored next to the counter.
+/// Callers therefore copy the pool's [`Sleep`] handle out *before* the
+/// terminal decrement and wake through the copy (`Scope::complete_one` —
+/// the same hazard discipline as [`SpinLatch::set`], shifted one level up
+/// because only the caller knows which memory stays valid).
+#[derive(Debug)]
+pub(crate) struct CountLatch {
+    counter: AtomicUsize,
+}
+
+impl CountLatch {
+    /// A latch holding one count for its owner.
+    pub(crate) fn new() -> Self {
+        CountLatch { counter: AtomicUsize::new(1) }
+    }
+
+    /// Adds one count. Callers must already hold a count (the latch must
+    /// not have reached zero), which is what makes the relaxed increment
+    /// sound: the owner cannot concurrently observe zero.
+    #[inline]
+    pub(crate) fn increment(&self) {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes one count; returns `true` if this was the last one (the
+    /// latch is now set). Release on the decrement pairs with the acquire
+    /// probe, so everything the completing job wrote is visible to the
+    /// owner once it sees zero. **If this returns `true`, `self` may
+    /// already be dead to other threads** — see the type docs.
+    #[inline]
+    pub(crate) fn set_one(&self) -> bool {
+        self.counter.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+}
+
+impl Probe for CountLatch {
+    #[inline]
+    fn probe(&self) -> bool {
+        self.counter.load(Ordering::Acquire) == 0
     }
 }
 
@@ -141,6 +211,35 @@ mod tests {
         let l = LockLatch::new();
         l.set();
         l.wait();
+    }
+
+    #[test]
+    fn count_latch_counts_down_to_set() {
+        let l = CountLatch::new();
+        assert!(!l.probe(), "owner count keeps it unset");
+        l.increment();
+        l.increment();
+        assert!(!l.set_one(), "3 -> 2");
+        assert!(!l.set_one(), "2 -> 1");
+        assert!(l.set_one(), "1 -> 0 is the terminal decrement");
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch_concurrent_decrements_set_exactly_once() {
+        for _ in 0..200 {
+            let l = CountLatch::new();
+            for _ in 0..4 {
+                l.increment();
+            }
+            l.set_one(); // the owner's terminal decrement (4 spawn counts left)
+            let terminals = std::thread::scope(|s| {
+                let hs: Vec<_> = (0..4).map(|_| s.spawn(|| l.set_one())).collect();
+                hs.into_iter().map(|h| h.join().unwrap()).filter(|&terminal| terminal).count()
+            });
+            assert_eq!(terminals, 1, "exactly one decrement observes 1 -> 0");
+            assert!(l.probe());
+        }
     }
 
     #[test]

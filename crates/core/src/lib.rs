@@ -22,6 +22,12 @@
 //! work-first principle that gives the paper its `T1/TS ≈ 1` work
 //! efficiency.
 //!
+//! Dynamic task sets — N children discovered at runtime, borrowing the
+//! parent's environment — enter through the structured [`scope`] /
+//! [`scope_at`] subsystem: [`Scope::spawn`] / [`Scope::spawn_at`] enqueue
+//! place-hinted jobs and the scope returns only when all of them have
+//! finished (see [`scope`]'s documentation).
+//!
 //! Beyond the paper's single-root model, the pool is **service-shaped**:
 //! external threads enter through per-place ingress queues
 //! ([`Pool::install`], [`Pool::install_at`], and the fire-and-forget
@@ -80,6 +86,7 @@ mod mailbox;
 mod par_for;
 mod pool;
 mod registry;
+mod scope;
 mod sleep;
 mod stats;
 
@@ -87,6 +94,7 @@ pub use config::{BuildPoolError, SchedulerMode};
 pub use join::{join, join4, join4_at, join_at};
 pub use par_for::{par_for, par_for_banded};
 pub use pool::{Pool, PoolBuilder};
+pub use scope::{scope, scope_at, Scope};
 pub use stats::{PoolStats, WorkerStatsSnapshot};
 
 // Re-export the place type: it is part of this crate's public API surface.

@@ -6,15 +6,55 @@
 //! takes it later. The single entry is load-bearing for the §IV analysis —
 //! it keeps the top-heavy-deques argument intact — so the capacity is not
 //! configurable here (the simulator has the multi-entry ablation).
+//!
+//! ## Shutdown
+//!
+//! A deposited job may be a heap job (`Pool::spawn` / `spawn_at`) that was
+//! lazily pushed toward its place — a job that *owns* its closure and must
+//! run to be reclaimed. The shutdown path therefore drains mailboxes twice:
+//! `worker_main` executes anything left in its own mailbox after its main
+//! loop exits (and PUSHBACK stops depositing once shutdown is observed, see
+//! `WorkerThread::pushback`), and [`Mailbox::drop`] — which runs only after
+//! every worker has exited, since workers hold the registry alive —
+//! executes a leftover deposit as the final safety net rather than leaking
+//! it. Stack jobs can never be stranded here: their owners block inside the
+//! pool until the latch is set, which keeps the pool from shutting down
+//! around them.
 
 use crate::job::JobRef;
+use nws_topology::Place;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Encoding of the out-of-band place-hint word: `0` = no deposit observed
+/// (or hint not yet published), `1` = [`Place::ANY`], `i + 2` = `Place(i)`.
+const HINT_EMPTY: usize = 0;
+const HINT_ANY: usize = 1;
+
+fn encode_place(place: Place) -> usize {
+    match place.index() {
+        None => HINT_ANY,
+        Some(i) => i + 2,
+    }
+}
+
+fn decode_place(hint: usize) -> Option<Place> {
+    match hint {
+        HINT_EMPTY => None,
+        HINT_ANY => Some(Place::ANY),
+        i => Some(Place(i - 2)),
+    }
+}
 
 /// A lock-free one-slot mailbox holding a [`JobRef`].
 #[derive(Debug)]
 pub(crate) struct Mailbox {
     slot: AtomicPtr<JobRef>,
+    /// The deposited job's place hint, mirrored into its own atomic word so
+    /// [`peek_place`](Mailbox::peek_place) never dereferences `slot` — a
+    /// concurrent `take` may free the box at any moment, and "the probe is
+    /// racy" must never mean "the probe reads freed memory".
+    place_hint: AtomicUsize,
 }
 
 impl Default for Mailbox {
@@ -25,12 +65,13 @@ impl Default for Mailbox {
 
 impl Mailbox {
     pub(crate) fn new() -> Self {
-        Mailbox { slot: AtomicPtr::new(ptr::null_mut()) }
+        Mailbox { slot: AtomicPtr::new(ptr::null_mut()), place_hint: AtomicUsize::new(HINT_EMPTY) }
     }
 
     /// Attempts to deposit `job`. Fails (returning the job back) if the
     /// slot is occupied — the PUSHBACK protocol then retries elsewhere.
     pub(crate) fn try_deposit(&self, job: JobRef) -> Result<(), JobRef> {
+        let place = job.place();
         let boxed = Box::into_raw(Box::new(job));
         match self.slot.compare_exchange(
             ptr::null_mut(),
@@ -38,7 +79,20 @@ impl Mailbox {
             Ordering::AcqRel,
             Ordering::Acquire,
         ) {
-            Ok(_) => Ok(()),
+            Ok(_) => {
+                // Publish the hint only after *winning* the slot: a losing
+                // depositor must not scribble over the winner's hint. Two
+                // windows remain, both inside the probe's documented
+                // by-value raciness: between the CAS and this store a probe
+                // reads the previous occupant's hint (or EMPTY), and a
+                // winner descheduled *here* can later lay its hint over a
+                // newer deposit's (take → new CAS → new store → our stale
+                // store), mislabeling the live job until the next deposit.
+                // Neither window can misroute more than one coin-flip probe
+                // per deposit, and `take` always reveals the true place.
+                self.place_hint.store(encode_place(place), Ordering::Release);
+                Ok(())
+            }
             Err(_) => {
                 // SAFETY: we just created this box and nobody else saw it.
                 let job = *unsafe { Box::from_raw(boxed) };
@@ -48,6 +102,11 @@ impl Mailbox {
     }
 
     /// Takes the job out of the slot, if any.
+    ///
+    /// Deliberately leaves `place_hint` behind: clearing it here could wipe
+    /// the hint a *newer* deposit just published (swap → CAS → hint-store →
+    /// stale clear). A stale hint next to an empty slot is harmless —
+    /// [`peek_place`](Mailbox::peek_place) checks the slot first.
     pub(crate) fn take(&self) -> Option<JobRef> {
         let p = self.slot.swap(ptr::null_mut(), Ordering::AcqRel);
         if p.is_null() {
@@ -64,37 +123,51 @@ impl Mailbox {
         !self.slot.load(Ordering::Acquire).is_null()
     }
 
-    /// The place hint of the currently deposited job, if any (racy; the
-    /// caller must still `take` to claim it).
+    /// The place hint of the currently deposited job, if any.
+    ///
+    /// Racy **by value**, never by memory: the hint lives in its own atomic
+    /// word, so this never touches the slot's box (which a concurrent
+    /// `take` may have freed — the old implementation dereferenced it, a
+    /// use-after-free even when the read value was discarded). The caller
+    /// may observe `None` for a just-deposited job, a removed job's stale
+    /// place, or — if a winning depositor's hint store was delayed across
+    /// a take/re-deposit — *another* deposit's place attributed to the
+    /// current job. Every outcome is a well-formed value; the caller must
+    /// still `take` to claim (which reveals the true place), and the worst
+    /// consequence is one misrouted probe — which the protocol tolerates
+    /// (the thief just moves on). If peeking ever becomes load-bearing for
+    /// routing, pack pointer and place into a single word instead.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn peek_place(&self) -> Option<nws_topology::Place> {
-        let p = self.slot.load(Ordering::Acquire);
-        if p.is_null() {
+    pub(crate) fn peek_place(&self) -> Option<Place> {
+        if self.slot.load(Ordering::Acquire).is_null() {
             None
         } else {
-            // SAFETY: deposited boxes are only freed by `take`/`drop`; a
-            // concurrent take could free `p` under us, so this is formally
-            // racy — but `JobRef` is Copy/POD and the mailbox only ever
-            // holds boxes we allocated, so the worst outcome of the race is
-            // reading a stale place and losing the subsequent `take` race,
-            // which the protocol tolerates (the thief just moves on).
-            Some(unsafe { (*p).place() })
+            decode_place(self.place_hint.load(Ordering::Acquire))
         }
     }
 }
 
 impl Drop for Mailbox {
     fn drop(&mut self) {
-        // Free a leftover deposit. The job itself is a stack pointer owned
-        // elsewhere; dropping the box does not drop the job.
-        let _ = self.take();
+        // Execute — don't leak — a leftover deposit. By the time the
+        // registry (and with it this mailbox) drops, every worker has
+        // exited, so a job still parked here can only be a self-contained
+        // heap job whose deposit raced the final shutdown drain (see the
+        // module docs); running it honors the documented guarantee that
+        // spawned work is never lost. Stack jobs cannot reach this point:
+        // their owners block the pool's shutdown until they are joined.
+        if let Some(job) = self.take() {
+            // SAFETY: a deposited JobRef is live and unexecuted; workers
+            // are gone, so we are the only possible executor.
+            unsafe { job.execute() }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{Job, JobRef};
+    use crate::job::{HeapJob, Job, JobRef};
     use nws_topology::Place;
     use std::sync::atomic::AtomicUsize;
 
@@ -130,6 +203,8 @@ mod tests {
         m.try_deposit(job_ref(&j, Place(0))).unwrap();
         let back = m.try_deposit(job_ref(&j, Place(1))).unwrap_err();
         assert_eq!(back.place(), Place(1), "rejected job handed back intact");
+        // The loser must not have corrupted the winner's hint.
+        assert_eq!(m.peek_place(), Some(Place(0)));
     }
 
     #[test]
@@ -137,6 +212,18 @@ mod tests {
         let m = Mailbox::new();
         assert!(m.take().is_none());
         assert_eq!(m.peek_place(), None);
+    }
+
+    #[test]
+    fn peek_place_roundtrips_any_and_indices() {
+        let j = CountJob(AtomicUsize::new(0));
+        for place in [Place::ANY, Place(0), Place(1), Place(31)] {
+            let m = Mailbox::new();
+            m.try_deposit(job_ref(&j, place)).unwrap();
+            assert_eq!(m.peek_place(), Some(place));
+            let _ = m.take();
+            assert_eq!(m.peek_place(), None, "empty slot wins over stale hint");
+        }
     }
 
     #[test]
@@ -154,11 +241,83 @@ mod tests {
         }
     }
 
+    /// Regression for the `peek_place` use-after-free: the old probe read
+    /// `(*slot).place()` from a box a concurrent `take` may already have
+    /// freed. Hammer a mailbox with a depositor, a taker, and two peekers;
+    /// every peeked value must be one the protocol could legally observe
+    /// (no garbage from freed memory), and every deposited job must be
+    /// taken exactly once. Run under a release-mode loop this reliably
+    /// crashed or tripped ASAN with the dereferencing implementation.
     #[test]
-    fn drop_with_deposit_does_not_leak_or_crash() {
+    fn peek_take_hammer_yields_only_valid_places() {
+        use std::sync::atomic::AtomicBool;
+        const ROUNDS: usize = 2_000;
+        let j = CountJob(AtomicUsize::new(0));
+        let m = Mailbox::new();
+        let stop = AtomicBool::new(false);
+        let taken = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            // Peekers: race `take` constantly; only legal values allowed.
+            for _ in 0..2 {
+                s.spawn(|| {
+                    while !stop.load(Ordering::SeqCst) {
+                        match m.peek_place() {
+                            None | Some(Place(0..=7)) => {}
+                            Some(other) => panic!("peeked impossible place {other:?}"),
+                        }
+                    }
+                });
+            }
+            // Taker: claims whatever is deposited.
+            s.spawn(|| {
+                while !stop.load(Ordering::SeqCst) {
+                    if let Some(job) = m.take() {
+                        assert!(job.place().index().unwrap_or(0) < 8);
+                        taken.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+            // Depositor (this thread): cycle places 0..8.
+            let mut deposited = 0usize;
+            while deposited < ROUNDS {
+                if m.try_deposit(job_ref(&j, Place(deposited % 8))).is_ok() {
+                    deposited += 1;
+                }
+            }
+            // Wait for the taker to drain the last deposit, then stop.
+            while taken.load(Ordering::SeqCst) < ROUNDS {
+                std::hint::spin_loop();
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+        assert_eq!(taken.into_inner(), ROUNDS);
+    }
+
+    #[test]
+    fn drop_executes_leftover_job() {
+        // The shutdown-drain guarantee at the mailbox level: dropping a
+        // mailbox with a parked job *runs* the job (the old Drop freed the
+        // box and leaked/lost the work).
         let j = CountJob(AtomicUsize::new(0));
         let m = Mailbox::new();
         m.try_deposit(job_ref(&j, Place(0))).unwrap();
-        drop(m); // miri-clean: frees the box, not the job
+        drop(m);
+        assert_eq!(j.0.load(Ordering::SeqCst), 1, "leftover deposit must run, not leak");
+    }
+
+    #[test]
+    fn drop_executes_leftover_heap_job() {
+        // Same, with the representation that actually strands: a
+        // fire-and-forget heap job owns its closure, so executing at drop
+        // both runs the work and reclaims the allocation (miri-clean).
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran2 = Arc::clone(&ran);
+        let job = HeapJob::new(move || ran2.store(true, Ordering::SeqCst));
+        let m = Mailbox::new();
+        m.try_deposit(unsafe { job.into_job_ref(Place(1)) }).unwrap();
+        drop(m);
+        assert!(ran.load(Ordering::SeqCst), "heap job parked at shutdown must still run");
     }
 }

@@ -64,6 +64,13 @@ fn bands<F>(range: Range<usize>, grain: usize, first: usize, count: usize, body:
 where
     F: Fn(usize) + Sync,
 {
+    // More bands than iterations (`places > range.len()`) leaves some
+    // bands empty: return before spawning, so the deque never churns on
+    // zero-iteration jobs. The band→place arithmetic (`first`, `count`)
+    // is untouched — non-empty bands keep exactly the hints they had.
+    if range.is_empty() {
+        return;
+    }
     if count == 1 {
         rec(range, grain, body, Place(first));
         return;
@@ -71,17 +78,31 @@ where
     let left = count / 2;
     let mid = range.start + (range.len() * left) / count;
     let (r1, r2) = (range.start..mid, mid..range.end);
-    join_at(
-        || bands(r1, grain, first, left, body),
-        || bands(r2, grain, first + left, count - left, body),
-        Place(first + left),
-    );
+    // A lopsided split (fewer iterations than bands on this side) can make
+    // one half empty; recurse into the other directly instead of paying a
+    // deque push for a no-op task.
+    if r1.is_empty() {
+        bands(r2, grain, first + left, count - left, body);
+    } else if r2.is_empty() {
+        bands(r1, grain, first, left, body);
+    } else {
+        join_at(
+            || bands(r1, grain, first, left, body),
+            || bands(r2, grain, first + left, count - left, body),
+            Place(first + left),
+        );
+    }
 }
 
 fn rec<F>(range: Range<usize>, grain: usize, body: &F, place: Place)
 where
     F: Fn(usize) + Sync,
 {
+    // Empty ranges do nothing; returning before the grain check keeps the
+    // zero-work case off the sequential-loop path entirely.
+    if range.is_empty() {
+        return;
+    }
     if range.len() <= grain {
         for i in range {
             body(i);
@@ -159,6 +180,42 @@ mod tests {
             })
         });
         assert_eq!(count.into_inner(), 1000);
+    }
+
+    #[test]
+    fn banded_with_more_places_than_iterations() {
+        // Regression: `places > range.len()` used to spawn empty-range
+        // bands, churning the deque for nothing. Coverage must be exact
+        // and, on a single worker (where nothing is stolen and `spawns`
+        // counts every accepted deque push), the spawn count must stay
+        // below the non-empty-iteration count — impossible if empty bands
+        // still cost a push each.
+        let pool = Pool::builder().workers(1).build().unwrap();
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.reset_stats();
+        pool.install(|| {
+            par_for_banded(0..3, 1, 16, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let spawns: u64 = pool.stats().workers.iter().map(|w| w.spawns).sum();
+        assert!(
+            spawns < 3,
+            "3 iterations over 16 bands needs at most 2 forks, got {spawns} spawns"
+        );
+    }
+
+    #[test]
+    fn banded_empty_range_is_a_no_op() {
+        let pool = Pool::builder().workers(2).places(2).build().unwrap();
+        let count = AtomicUsize::new(0);
+        pool.install(|| {
+            par_for_banded(10..10, 4, 8, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(count.into_inner(), 0);
     }
 
     #[test]

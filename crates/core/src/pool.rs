@@ -317,6 +317,44 @@ impl Pool {
         self.registry.inject(job_ref);
     }
 
+    /// Runs `f` inside the pool with a [`Scope`](crate::Scope) for
+    /// spawning dynamic task sets; returns when `f` **and every spawned
+    /// task** have finished. Shorthand for
+    /// `pool.install(|| numa_ws::scope(f))`; see [`scope`](crate::scope).
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicU32, Ordering};
+    ///
+    /// let pool = numa_ws::Pool::new(2).expect("pool");
+    /// let hits = AtomicU32::new(0);
+    /// pool.scope(|s| {
+    ///     for _ in 0..16 {
+    ///         s.spawn(|_| {
+    ///             hits.fetch_add(1, Ordering::SeqCst);
+    ///         });
+    ///     }
+    /// });
+    /// assert_eq!(hits.into_inner(), 16);
+    /// ```
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&crate::Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        self.install(|| crate::scope(f))
+    }
+
+    /// As [`scope`](Pool::scope), but the scope's default spawn hint is
+    /// `place` and the body enters the pool at `place`; see
+    /// [`scope_at`](crate::scope_at).
+    pub fn scope_at<'scope, F, R>(&self, place: Place, f: F) -> R
+    where
+        F: FnOnce(&crate::Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        self.install_at(place, || crate::scope_at(place, f))
+    }
+
     /// Number of workers.
     pub fn num_workers(&self) -> usize {
         self.registry.map.num_workers()

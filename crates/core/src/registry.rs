@@ -5,7 +5,7 @@
 use crate::config::SchedulerMode;
 use crate::injector::IngressQueue;
 use crate::job::JobRef;
-use crate::latch::SpinLatch;
+use crate::latch::Probe;
 use crate::mailbox::Mailbox;
 use crate::sleep::{Sleep, SleepOutcome, DEEP_SLEEP};
 use crate::stats::{bump, Category, Clock, LocalCounters, PoolStats, WorkerStats};
@@ -189,7 +189,10 @@ impl Registry {
         if self.mode == SchedulerMode::NumaWs && self.mailboxes[worker_index].is_full() {
             return true;
         }
-        self.stealers.iter().enumerate().any(|(i, st)| i != worker_index && !st.is_empty())
+        // Including our own deque: a scope task executed here may have
+        // spawned siblings onto it, and both the main loop and `wait_until`
+        // drain the own deque before stealing.
+        self.stealers.iter().any(|st| !st.is_empty())
     }
 }
 
@@ -312,19 +315,27 @@ impl WorkerThread {
         self.switch_to(Category::Idle);
     }
 
-    /// Steals-while-waiting until `latch` is set (the join slow path).
+    /// Steals-while-waiting until `latch` is set (the join and scope slow
+    /// paths; any [`Probe`] works — `join` passes a
+    /// [`SpinLatch`](crate::latch::SpinLatch), `scope` a
+    /// [`CountLatch`](crate::latch::CountLatch)).
     ///
     /// An idle waiter participates in the full work-finding protocol —
     /// including external ingress — so a service pool never wastes a
     /// join-blocked worker. When it runs out of work it deep-sleeps on the
-    /// pool condvar like any other idle worker: `SpinLatch::set` probes
-    /// the sleeper count and broadcasts, so the thief that finishes the
-    /// awaited job wakes this waiter directly (the timeout remains as the
-    /// safety net for a wake lost to the relaxed probe).
-    pub(crate) fn wait_until(&self, latch: &SpinLatch<'_>) {
+    /// pool condvar like any other idle worker: the completing side
+    /// (`SpinLatch::set`, `Scope::complete_one`) probes the sleeper count
+    /// and broadcasts, so the thief that finishes the awaited job wakes
+    /// this waiter directly (the timeout remains as the safety net for a
+    /// wake lost to the relaxed probe).
+    pub(crate) fn wait_until(&self, latch: &impl Probe) {
         self.switch_to(Category::Idle);
         let mut spins = 0u32;
         while !latch.probe() {
+            // find_work starts with our own deque: a scope's spawns (and
+            // tasks left behind by other waiting frames) sit there. `join`
+            // frames tolerate this — their pop loop re-checks job
+            // identity.
             if let Some(job) = self.find_work() {
                 // SAFETY: jobs found through the protocol are live and
                 // unexecuted.
@@ -359,14 +370,21 @@ impl WorkerThread {
         }
     }
 
-    /// One trip through the scheduling loop, in drain order: own mailbox,
-    /// own place's ingress queue, one steal attempt, then remote ingress
-    /// queues as a last resort. The order preserves the locality bias —
-    /// earmarked work first, then place-local ingress, then the biased
-    /// steal — while guaranteeing that no injected job can starve behind a
-    /// busy place: any idle worker anywhere eventually picks it up.
+    /// One trip through the scheduling loop, in drain order: own deque,
+    /// own mailbox, own place's ingress queue, one steal attempt, then
+    /// remote ingress queues as a last resort. The order preserves the
+    /// locality bias — own work first (scope spawns land on the own deque
+    /// and nobody else is obliged to steal them, DESIGN.md §5), then
+    /// earmarked work, then place-local ingress, then the biased steal —
+    /// while guaranteeing that no injected job can starve behind a busy
+    /// place: any idle worker anywhere eventually picks it up.
     fn find_work(&self) -> Option<JobRef> {
-        // Fig 5 line 25-26: check own mailbox first; anything there is
+        // Own deque first, LIFO: the depth-first work-first discipline,
+        // and what lets a single-worker scope drain its own spawns.
+        if let Some(job) = self.pop() {
+            return Some(job);
+        }
+        // Fig 5 line 25-26: check own mailbox next; anything there is
         // earmarked for our place.
         if self.registry.mode == SchedulerMode::NumaWs {
             if let Some(job) = self.registry.mailboxes[self.index].take() {
@@ -454,6 +472,14 @@ impl WorkerThread {
     /// pushing threshold. Allocation-free: the candidate list was
     /// precomputed at registry construction.
     pub(crate) fn pushback(&self, job: JobRef) -> PushOutcome {
+        // During shutdown, run the job here instead of relaying: a deposit
+        // could land in the mailbox of a worker that has already performed
+        // its final drain and exited, stranding the job until the registry
+        // drops (Mailbox::drop would still run it, but only after the
+        // pool's destructor returned — too late for the drain guarantee).
+        if self.registry.is_shutting_down() {
+            return PushOutcome::Kept(job);
+        }
         let place_idx = match job.place().index() {
             Some(p) => p % self.registry.map.num_places(),
             None => return PushOutcome::Kept(job),
@@ -524,6 +550,9 @@ pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorke
 
     let mut spins = 0u32;
     loop {
+        // find_work starts with the own deque: a scope task executed here
+        // may have spawned siblings onto it without waiting for them (only
+        // the scope owner waits), and nobody else is obliged to steal them.
         if let Some(job) = worker.find_work() {
             // SAFETY: protocol-found jobs are live and unexecuted.
             unsafe { worker.execute(job) };
@@ -550,6 +579,21 @@ pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorke
         worker.idle_backoff(&mut spins, || {
             worker.registry.work_available(index) || worker.registry.is_shutting_down()
         });
+    }
+    // Final mailbox drain: a PUSHBACK episode on a worker that had not yet
+    // observed shutdown can deposit into our mailbox *after* the last
+    // `find_work` above came up empty (the pushback shutdown gate closes
+    // that window going forward, but a stale `is_shutting_down` read can
+    // leak one deposit through). Execute leftovers — they are heap jobs
+    // under the shutdown-drain guarantee — plus anything they spawn onto
+    // our deque.
+    while let Some(job) = worker.registry.mailboxes[index].take() {
+        // SAFETY: deposited jobs are live and unexecuted.
+        unsafe { worker.execute(job) };
+        while let Some(job) = worker.pop() {
+            // SAFETY: as above.
+            unsafe { worker.execute(job) };
+        }
     }
     worker.flush_counters();
     worker.clock.flush(worker.stats());

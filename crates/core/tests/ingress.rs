@@ -169,6 +169,39 @@ fn drop_with_spawns_inflight_runs_them_all() {
     assert_eq!(ran.load(Ordering::SeqCst), JOBS, "every pre-drop spawn must have run");
 }
 
+/// Regression for the mailbox shutdown-drain hole: a place-hinted spawn
+/// taken by a wrong-place worker gets lazily pushed into a *mailbox*, and
+/// a pool dropped at that moment used to free the mailbox box without
+/// running the job — leaking its closure and silently violating the
+/// "spawned work is never lost" guarantee. Heavily cross-hinted spawns +
+/// an immediate drop make the window real; the loop keeps the race
+/// probable in release mode. Every job must run — whether from a deque,
+/// an ingress queue, a drained mailbox, or the `Mailbox::drop` safety net.
+#[test]
+fn drop_with_jobs_parked_in_mailboxes_loses_nothing() {
+    const ROUNDS: usize = 60;
+    const JOBS: usize = 48;
+    for round in 0..ROUNDS {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = Pool::builder().workers(4).places(4).push_threshold(8).build().unwrap();
+        for i in 0..JOBS {
+            let ran = Arc::clone(&ran);
+            // Deliberately hint every job away from round-robin balance so
+            // wrong-place pickups (and thus PUSHBACK mailbox deposits) are
+            // common while the drop races the workers.
+            pool.spawn_at(Place(i % 4), move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            JOBS,
+            "round {round}: a spawn was stranded (mailbox drain hole)"
+        );
+    }
+}
+
 /// Spawned jobs can themselves spawn follow-up work through a shared pool
 /// handle, and both generations complete. (The main thread keeps its
 /// `Arc<Pool>` until the work is done: letting the *last* handle drop
