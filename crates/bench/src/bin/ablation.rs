@@ -7,7 +7,7 @@
 //! `hints` (default: all).
 
 use nws_bench::{machine, BenchId};
-use nws_sim::{CoinFlip, SimConfig, Simulation};
+use nws_sim::{CoinFlip, SimConfig, Simulation, StealBias};
 
 fn run_with(cfg: SimConfig, bench: BenchId) -> (u64, f64) {
     let topo = machine();
@@ -26,7 +26,7 @@ fn mailbox() {
     let mut t = nws_metrics::Table::new(vec!["capacity", "heat T32 (kcyc)", "inflation"]);
     for cap in [0usize, 1, 4, 16] {
         let mut cfg = SimConfig::numa_ws(32);
-        cfg.mailbox_capacity = cap;
+        cfg.policy.mailbox_capacity = cap;
         let (tp, infl) = run_with(cfg, BenchId::Heat);
         t.row(vec![cap.to_string(), format!("{}", tp / 1000), format!("{infl:.2}x")]);
     }
@@ -39,7 +39,7 @@ fn threshold() {
         nws_metrics::Table::new(vec!["threshold", "heat T32 (kcyc)", "push attempts", "failures"]);
     for th in [0u32, 1, 4, 16, 64] {
         let mut cfg = SimConfig::numa_ws(32);
-        cfg.push_threshold = th;
+        cfg.policy.push_threshold = th;
         let topo = machine();
         let dag = BenchId::Heat.dag(4);
         let r = Simulation::new(&topo, cfg, &dag).expect("fits").run();
@@ -62,7 +62,7 @@ fn coinflip() {
         ("deque only", CoinFlip::DequeOnly),
     ] {
         let mut cfg = SimConfig::numa_ws(32);
-        cfg.coin_flip = flip;
+        cfg.policy.coin_flip = flip;
         let topo = machine();
         let dag = BenchId::Cg.dag(4);
         let r = Simulation::new(&topo, cfg, &dag).expect("fits").run();
@@ -82,7 +82,7 @@ fn bias() {
     for (name, biased) in [("biased", true), ("uniform", false)] {
         for bench in [BenchId::Heat, BenchId::Cg] {
             let mut cfg = SimConfig::numa_ws(32);
-            cfg.biased_steals = biased;
+            cfg.policy.bias = if biased { StealBias::InverseDistance } else { StealBias::Uniform };
             let topo = machine();
             let dag = bench.dag(4);
             let r = Simulation::new(&topo, cfg, &dag).expect("fits").run();

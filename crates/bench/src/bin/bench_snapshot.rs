@@ -4,9 +4,13 @@
 //! so the repo can carry a perf trajectory across PRs (`BENCH_*.json`).
 //!
 //! Run: `cargo run --release -p nws_bench --bin bench_snapshot`
-//! (writes `BENCH_pr4.json` in the current directory; `--out PATH` to
-//! redirect, `--quick` for the CI smoke configuration, which shrinks every
-//! workload so a broken harness fails the pipeline in seconds).
+//! (writes `BENCH_snapshot.json` in the current directory; `--out PATH` or
+//! the `BENCH_OUT` environment variable redirect it — each PR commits its
+//! trajectory point as `BENCH_prN.json` without editing this source —
+//! and `--quick` is the CI smoke configuration, which shrinks every
+//! workload so a broken harness fails the pipeline in seconds). The
+//! snapshot's `pr` tag is derived from the output file name
+//! (`BENCH_pr5.json` → `pr5`).
 //!
 //! Medians, not means: a snapshot committed to git should not move because
 //! one sample caught a page fault. The vendored criterion reports
@@ -87,9 +91,17 @@ fn tree(d: u32) -> u64 {
     }
 }
 
+/// The snapshot tag carried in the JSON, derived from the output file
+/// name: `BENCH_pr5.json` → `pr5`, anything else → its bare stem.
+fn pr_tag(out: &str) -> String {
+    let stem = std::path::Path::new(out).file_stem().and_then(|s| s.to_str()).unwrap_or("snapshot");
+    stem.strip_prefix("BENCH_").unwrap_or(stem).to_string()
+}
+
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr4.json");
+    let mut out =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| String::from("BENCH_snapshot.json"));
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -260,7 +272,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"bench_snapshot/v1\",\n");
-    json.push_str("  \"pr\": \"pr4\",\n");
+    json.push_str(&format!("  \"pr\": \"{}\",\n", pr_tag(&out)));
     json.push_str(&format!("  \"profile\": \"{profile}\",\n"));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));

@@ -97,5 +97,7 @@ pub use pool::{Pool, PoolBuilder};
 pub use scope::{scope, scope_at, Scope};
 pub use stats::{PoolStats, WorkerStatsSnapshot};
 
-// Re-export the place type: it is part of this crate's public API surface.
-pub use nws_topology::Place;
+// Re-export the place type and the shared scheduling-policy layer: both
+// are part of this crate's public API surface ([`PoolBuilder::policy`]
+// consumes a [`SchedPolicy`]).
+pub use nws_topology::{CoinFlip, Place, SchedPolicy, SleepPolicy, StealBias};

@@ -1,11 +1,24 @@
-//! Single-entry mailboxes for lazy work pushing.
+//! Bounded lock-free mailboxes for lazy work pushing.
 //!
-//! Each worker owns one mailbox with **exactly one slot** (paper §III-B):
-//! a pusher deposits a ready job for the mailbox's owner without
-//! interrupting it; the owner (or a thief, via the coin-flip protocol)
-//! takes it later. The single entry is load-bearing for the §IV analysis —
-//! it keeps the top-heavy-deques argument intact — so the capacity is not
-//! configurable here (the simulator has the multi-entry ablation).
+//! Each worker owns one mailbox whose capacity comes from the pool's
+//! [`SchedPolicy`](nws_topology::SchedPolicy): **exactly one slot** under
+//! the paper's protocol (§III-B — the single entry is load-bearing for the
+//! §IV top-heavy-deques argument), zero slots when the policy disables
+//! mailboxes entirely (vanilla work stealing), and more for the
+//! multi-entry ablation the simulator pioneered. A pusher deposits a ready
+//! job for the mailbox's owner without interrupting it; the owner (or a
+//! thief, via the coin-flip protocol) takes it later. Each slot is an
+//! independent CAS target, so every capacity stays lock-free.
+//!
+//! At capacity > 1 the slot array is **not FIFO** under interleaved
+//! deposits and takes (a take empties slot 0, the next deposit refills it,
+//! and the next take serves the newcomer before an older job in slot 1),
+//! whereas the simulator models multi-entry mailboxes as FIFO queues. The
+//! divergence is confined to the ablation-only capacities: at the paper's
+//! capacity 1 — and capacity 0 — the two substrates behave identically,
+//! and no protocol property depends on mailbox ordering (mailbox entries
+//! are unordered ready tasks; the §IV analysis cares only about the
+//! single-entry bound).
 //!
 //! ## Shutdown
 //!
@@ -46,84 +59,101 @@ fn decode_place(hint: usize) -> Option<Place> {
     }
 }
 
-/// A lock-free one-slot mailbox holding a [`JobRef`].
+/// One lock-free slot holding a [`JobRef`] and its mirrored place hint.
 #[derive(Debug)]
-pub(crate) struct Mailbox {
-    slot: AtomicPtr<JobRef>,
+struct Slot {
+    job: AtomicPtr<JobRef>,
     /// The deposited job's place hint, mirrored into its own atomic word so
-    /// [`peek_place`](Mailbox::peek_place) never dereferences `slot` — a
+    /// [`peek_place`](Mailbox::peek_place) never dereferences `job` — a
     /// concurrent `take` may free the box at any moment, and "the probe is
     /// racy" must never mean "the probe reads freed memory".
     place_hint: AtomicUsize,
 }
 
-impl Default for Mailbox {
-    fn default() -> Self {
-        Self::new()
+impl Slot {
+    fn new() -> Self {
+        Slot { job: AtomicPtr::new(ptr::null_mut()), place_hint: AtomicUsize::new(HINT_EMPTY) }
     }
 }
 
+/// A bounded lock-free mailbox: a fixed array of independent CAS slots.
+/// Capacity 0 (vanilla policies) makes `try_deposit` always fail and
+/// `take` always empty, so callers need no mode checks.
+#[derive(Debug)]
+pub(crate) struct Mailbox {
+    slots: Box<[Slot]>,
+}
+
 impl Mailbox {
-    pub(crate) fn new() -> Self {
-        Mailbox { slot: AtomicPtr::new(ptr::null_mut()), place_hint: AtomicUsize::new(HINT_EMPTY) }
+    pub(crate) fn new(capacity: usize) -> Self {
+        Mailbox { slots: (0..capacity).map(|_| Slot::new()).collect() }
     }
 
-    /// Attempts to deposit `job`. Fails (returning the job back) if the
-    /// slot is occupied — the PUSHBACK protocol then retries elsewhere.
+    /// Attempts to deposit `job` into any free slot. Fails (returning the
+    /// job back) if every slot is occupied — the PUSHBACK protocol then
+    /// retries elsewhere.
     pub(crate) fn try_deposit(&self, job: JobRef) -> Result<(), JobRef> {
+        if self.slots.is_empty() {
+            return Err(job);
+        }
         let place = job.place();
         let boxed = Box::into_raw(Box::new(job));
-        match self.slot.compare_exchange(
-            ptr::null_mut(),
-            boxed,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
-            Ok(_) => {
-                // Publish the hint only after *winning* the slot: a losing
-                // depositor must not scribble over the winner's hint. Two
-                // windows remain, both inside the probe's documented
-                // by-value raciness: between the CAS and this store a probe
-                // reads the previous occupant's hint (or EMPTY), and a
-                // winner descheduled *here* can later lay its hint over a
-                // newer deposit's (take → new CAS → new store → our stale
-                // store), mislabeling the live job until the next deposit.
-                // Neither window can misroute more than one coin-flip probe
-                // per deposit, and `take` always reveals the true place.
-                self.place_hint.store(encode_place(place), Ordering::Release);
-                Ok(())
-            }
-            Err(_) => {
-                // SAFETY: we just created this box and nobody else saw it.
-                let job = *unsafe { Box::from_raw(boxed) };
-                Err(job)
+        for slot in self.slots.iter() {
+            match slot.job.compare_exchange(
+                ptr::null_mut(),
+                boxed,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // Publish the hint only after *winning* the slot: a
+                    // losing depositor must not scribble over the winner's
+                    // hint. Two windows remain, both inside the probe's
+                    // documented by-value raciness: between the CAS and this
+                    // store a probe reads the previous occupant's hint (or
+                    // EMPTY), and a winner descheduled *here* can later lay
+                    // its hint over a newer deposit's (take → new CAS → new
+                    // store → our stale store), mislabeling the live job
+                    // until the next deposit. Neither window can misroute
+                    // more than one coin-flip probe per deposit, and `take`
+                    // always reveals the true place.
+                    slot.place_hint.store(encode_place(place), Ordering::Release);
+                    return Ok(());
+                }
+                Err(_) => continue,
             }
         }
+        // SAFETY: we just created this box and nobody else saw it (every
+        // CAS failed).
+        let job = *unsafe { Box::from_raw(boxed) };
+        Err(job)
     }
 
-    /// Takes the job out of the slot, if any.
+    /// Takes a job out of the first occupied slot, if any.
     ///
     /// Deliberately leaves `place_hint` behind: clearing it here could wipe
     /// the hint a *newer* deposit just published (swap → CAS → hint-store →
     /// stale clear). A stale hint next to an empty slot is harmless —
     /// [`peek_place`](Mailbox::peek_place) checks the slot first.
     pub(crate) fn take(&self) -> Option<JobRef> {
-        let p = self.slot.swap(ptr::null_mut(), Ordering::AcqRel);
-        if p.is_null() {
-            None
-        } else {
-            // SAFETY: a non-null slot pointer is always a leaked Box that
-            // exactly one `take` can observe (swap is atomic).
-            Some(*unsafe { Box::from_raw(p) })
+        for slot in self.slots.iter() {
+            let p = slot.job.swap(ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: a non-null slot pointer is always a leaked Box
+                // that exactly one `take` can observe (swap is atomic).
+                return Some(*unsafe { Box::from_raw(p) });
+            }
         }
+        None
     }
 
-    /// A racy fullness probe (used by the sleep layer's final re-check).
-    pub(crate) fn is_full(&self) -> bool {
-        !self.slot.load(Ordering::Acquire).is_null()
+    /// A racy occupancy probe (used by the sleep layer's final re-check):
+    /// does any slot hold a job?
+    pub(crate) fn has_job(&self) -> bool {
+        self.slots.iter().any(|s| !s.job.load(Ordering::Acquire).is_null())
     }
 
-    /// The place hint of the currently deposited job, if any.
+    /// The place hint of the first deposited job, if any.
     ///
     /// Racy **by value**, never by memory: the hint lives in its own atomic
     /// word, so this never touches the slot's box (which a concurrent
@@ -139,24 +169,25 @@ impl Mailbox {
     /// routing, pack pointer and place into a single word instead.
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn peek_place(&self) -> Option<Place> {
-        if self.slot.load(Ordering::Acquire).is_null() {
-            None
-        } else {
-            decode_place(self.place_hint.load(Ordering::Acquire))
+        for slot in self.slots.iter() {
+            if !slot.job.load(Ordering::Acquire).is_null() {
+                return decode_place(slot.place_hint.load(Ordering::Acquire));
+            }
         }
+        None
     }
 }
 
 impl Drop for Mailbox {
     fn drop(&mut self) {
-        // Execute — don't leak — a leftover deposit. By the time the
+        // Execute — don't leak — leftover deposits. By the time the
         // registry (and with it this mailbox) drops, every worker has
         // exited, so a job still parked here can only be a self-contained
         // heap job whose deposit raced the final shutdown drain (see the
         // module docs); running it honors the documented guarantee that
         // spawned work is never lost. Stack jobs cannot reach this point:
         // their owners block the pool's shutdown until they are joined.
-        if let Some(job) = self.take() {
+        while let Some(job) = self.take() {
             // SAFETY: a deposited JobRef is live and unexecuted; workers
             // are gone, so we are the only possible executor.
             unsafe { job.execute() }
@@ -186,10 +217,10 @@ mod tests {
     #[test]
     fn deposit_then_take() {
         let j = CountJob(AtomicUsize::new(0));
-        let m = Mailbox::new();
-        assert!(!m.is_full());
+        let m = Mailbox::new(1);
+        assert!(!m.has_job());
         m.try_deposit(job_ref(&j, Place(2))).unwrap();
-        assert!(m.is_full());
+        assert!(m.has_job());
         assert_eq!(m.peek_place(), Some(Place(2)));
         let got = m.take().unwrap();
         assert_eq!(got.place(), Place(2));
@@ -197,9 +228,9 @@ mod tests {
     }
 
     #[test]
-    fn second_deposit_rejected() {
+    fn second_deposit_rejected_at_capacity_one() {
         let j = CountJob(AtomicUsize::new(0));
-        let m = Mailbox::new();
+        let m = Mailbox::new(1);
         m.try_deposit(job_ref(&j, Place(0))).unwrap();
         let back = m.try_deposit(job_ref(&j, Place(1))).unwrap_err();
         assert_eq!(back.place(), Place(1), "rejected job handed back intact");
@@ -208,8 +239,35 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_rejects_everything() {
+        let j = CountJob(AtomicUsize::new(0));
+        let m = Mailbox::new(0);
+        assert!(!m.has_job());
+        let back = m.try_deposit(job_ref(&j, Place(3))).unwrap_err();
+        assert_eq!(back.place(), Place(3));
+        assert!(m.take().is_none());
+        assert_eq!(m.peek_place(), None);
+    }
+
+    #[test]
+    fn multi_slot_capacity_holds_that_many() {
+        let j = CountJob(AtomicUsize::new(0));
+        let m = Mailbox::new(3);
+        for p in 0..3 {
+            m.try_deposit(job_ref(&j, Place(p))).unwrap();
+        }
+        assert!(m.try_deposit(job_ref(&j, Place(9))).is_err(), "fourth deposit must bounce");
+        // Slot order — which matches deposit order only because no take
+        // interleaved with the deposits (see the module docs: the slot
+        // array is not FIFO in general).
+        let places: Vec<Place> = (0..3).map(|_| m.take().unwrap().place()).collect();
+        assert_eq!(places, vec![Place(0), Place(1), Place(2)]);
+        assert!(m.take().is_none());
+    }
+
+    #[test]
     fn take_empty_is_none() {
-        let m = Mailbox::new();
+        let m = Mailbox::new(1);
         assert!(m.take().is_none());
         assert_eq!(m.peek_place(), None);
     }
@@ -218,7 +276,7 @@ mod tests {
     fn peek_place_roundtrips_any_and_indices() {
         let j = CountJob(AtomicUsize::new(0));
         for place in [Place::ANY, Place(0), Place(1), Place(31)] {
-            let m = Mailbox::new();
+            let m = Mailbox::new(1);
             m.try_deposit(job_ref(&j, place)).unwrap();
             assert_eq!(m.peek_place(), Some(place));
             let _ = m.take();
@@ -230,7 +288,7 @@ mod tests {
     fn concurrent_takers_get_exactly_one() {
         let j = CountJob(AtomicUsize::new(0));
         for _ in 0..200 {
-            let m = Mailbox::new();
+            let m = Mailbox::new(1);
             m.try_deposit(job_ref(&j, Place(0))).unwrap();
             let got = std::thread::scope(|s| {
                 let h1 = s.spawn(|| m.take().is_some());
@@ -253,7 +311,7 @@ mod tests {
         use std::sync::atomic::AtomicBool;
         const ROUNDS: usize = 2_000;
         let j = CountJob(AtomicUsize::new(0));
-        let m = Mailbox::new();
+        let m = Mailbox::new(1);
         let stop = AtomicBool::new(false);
         let taken = AtomicUsize::new(0);
         std::thread::scope(|s| {
@@ -299,10 +357,21 @@ mod tests {
         // mailbox with a parked job *runs* the job (the old Drop freed the
         // box and leaked/lost the work).
         let j = CountJob(AtomicUsize::new(0));
-        let m = Mailbox::new();
+        let m = Mailbox::new(1);
         m.try_deposit(job_ref(&j, Place(0))).unwrap();
         drop(m);
         assert_eq!(j.0.load(Ordering::SeqCst), 1, "leftover deposit must run, not leak");
+    }
+
+    #[test]
+    fn drop_executes_every_leftover_slot() {
+        let j = CountJob(AtomicUsize::new(0));
+        let m = Mailbox::new(4);
+        for p in 0..4 {
+            m.try_deposit(job_ref(&j, Place(p))).unwrap();
+        }
+        drop(m);
+        assert_eq!(j.0.load(Ordering::SeqCst), 4, "all parked deposits must run");
     }
 
     #[test]
@@ -315,7 +384,7 @@ mod tests {
         let ran = Arc::new(AtomicBool::new(false));
         let ran2 = Arc::clone(&ran);
         let job = HeapJob::new(move || ran2.store(true, Ordering::SeqCst));
-        let m = Mailbox::new();
+        let m = Mailbox::new(1);
         m.try_deposit(unsafe { job.into_job_ref(Place(1)) }).unwrap();
         drop(m);
         assert!(ran.load(Ordering::SeqCst), "heap job parked at shutdown must still run");

@@ -6,7 +6,7 @@ use crate::job::{HeapJob, StackJob};
 use crate::latch::LockLatch;
 use crate::registry::{worker_main, Registry, WorkerThread};
 use crate::stats::PoolStats;
-use nws_topology::{Place, Placement, Topology, WorkerMap};
+use nws_topology::{Place, Placement, SchedPolicy, Topology, WorkerMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -55,22 +55,23 @@ impl std::fmt::Debug for Pool {
 pub struct PoolBuilder {
     workers: usize,
     places: usize,
-    mode: SchedulerMode,
+    policy: SchedPolicy,
     topology: Option<Topology>,
-    push_threshold: u32,
     seed: u64,
     stats_enabled: bool,
     deque_capacity: usize,
 }
 
 impl Default for PoolBuilder {
+    /// The paper's protocol: [`SchedPolicy::numa_ws`] — the same preset
+    /// `nws_sim::SimConfig::numa_ws` embeds, so the default pool and the
+    /// default simulation describe the same scheduler.
     fn default() -> Self {
         PoolBuilder {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             places: 1,
-            mode: SchedulerMode::NumaWs,
+            policy: SchedPolicy::numa_ws(),
             topology: None,
-            push_threshold: 4,
             seed: 0x5EED_CAFE,
             stats_enabled: true,
             deque_capacity: 8192,
@@ -92,9 +93,20 @@ impl PoolBuilder {
         self
     }
 
-    /// Scheduling algorithm. Defaults to [`SchedulerMode::NumaWs`].
+    /// Scheduling algorithm by preset name; shorthand for
+    /// [`policy`](PoolBuilder::policy)`(mode.policy())`. Defaults to
+    /// [`SchedulerMode::NumaWs`].
     pub fn mode(&mut self, mode: SchedulerMode) -> &mut Self {
-        self.mode = mode;
+        self.policy = mode.policy();
+        self
+    }
+
+    /// The full scheduling policy: victim-selection bias, coin-flip
+    /// protocol, mailbox capacity, pushback threshold, and sleep/backoff
+    /// parameters. This is the same [`SchedPolicy`] the simulator's
+    /// `SimConfig` embeds, so one value sweeps both substrates.
+    pub fn policy(&mut self, policy: SchedPolicy) -> &mut Self {
+        self.policy = policy;
         self
     }
 
@@ -109,9 +121,9 @@ impl PoolBuilder {
     }
 
     /// The PUSHBACK retry threshold (paper: a configurable constant).
-    /// Defaults to 4.
+    /// Defaults to 4. Mutates the current [`policy`](PoolBuilder::policy).
     pub fn push_threshold(&mut self, t: u32) -> &mut Self {
-        self.push_threshold = t;
+        self.policy.push_threshold = t;
         self
     }
 
@@ -167,8 +179,7 @@ impl PoolBuilder {
         let (registry, owners) = Registry::new(
             topo,
             map,
-            self.mode,
-            self.push_threshold,
+            self.policy,
             self.stats_enabled,
             self.deque_capacity,
             self.seed,
@@ -365,9 +376,15 @@ impl Pool {
         self.registry.map.num_places()
     }
 
-    /// The scheduling mode.
+    /// The scheduling mode: the two-way classification of
+    /// [`policy`](Pool::policy) (see [`SchedulerMode::of`]).
     pub fn mode(&self) -> SchedulerMode {
-        self.registry.mode
+        SchedulerMode::of(&self.registry.policy)
+    }
+
+    /// The full scheduling policy this pool runs.
+    pub fn policy(&self) -> &SchedPolicy {
+        &self.registry.policy
     }
 
     /// The machine topology the pool schedules against.
@@ -486,6 +503,32 @@ mod tests {
     fn classic_mode_pool() {
         let pool = Pool::builder().workers(4).mode(SchedulerMode::Classic).build().unwrap();
         assert_eq!(pool.mode(), SchedulerMode::Classic);
+        assert_eq!(*pool.policy(), SchedPolicy::vanilla());
         assert_eq!(pool.install(|| 5), 5);
+    }
+
+    #[test]
+    fn builder_accepts_full_policy() {
+        use nws_topology::{CoinFlip, StealBias};
+        let policy = SchedPolicy::numa_ws()
+            .with_coin_flip(CoinFlip::MailboxFirst)
+            .with_mailbox_capacity(4)
+            .with_push_threshold(9);
+        let pool = Pool::builder().workers(4).places(2).policy(policy).build().unwrap();
+        assert_eq!(*pool.policy(), policy);
+        assert_eq!(pool.mode(), SchedulerMode::NumaWs);
+        assert_eq!(pool.install(|| 6), 6);
+
+        let bias_only = SchedPolicy::vanilla().with_bias(StealBias::InverseDistance);
+        let pool = Pool::builder().workers(2).policy(bias_only).build().unwrap();
+        assert_eq!(pool.policy().mailbox_capacity, 0);
+        assert_eq!(pool.mode(), SchedulerMode::NumaWs, "bias alone is a NUMA mechanism");
+        assert_eq!(pool.install(|| 8), 8);
+    }
+
+    #[test]
+    fn push_threshold_mutates_policy() {
+        let pool = Pool::builder().workers(2).push_threshold(11).build().unwrap();
+        assert_eq!(pool.policy().push_threshold, 11);
     }
 }

@@ -2,19 +2,22 @@
 //! steal protocol with coin flip, lazy work pushing, per-place external
 //! ingress, and the worker sleep/wake layer.
 
-use crate::config::SchedulerMode;
 use crate::injector::IngressQueue;
 use crate::job::JobRef;
 use crate::latch::Probe;
 use crate::mailbox::Mailbox;
-use crate::sleep::{Sleep, SleepOutcome, DEEP_SLEEP};
+use crate::sleep::{Sleep, SleepOutcome};
 use crate::stats::{bump, Category, Clock, LocalCounters, PoolStats, WorkerStats};
 use nws_deque::{the_deque, Full, TheStealer, TheWorker};
-use nws_topology::{Place, StealDistribution, Topology, WorkerMap};
+use nws_topology::{
+    worker_rng_seed, CoinFlip, Place, SchedPolicy, SplitMix64, StealDistribution, Topology,
+    WorkerMap,
+};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Outcome of a PUSHBACK episode.
 pub(crate) enum PushOutcome {
@@ -28,8 +31,11 @@ pub(crate) enum PushOutcome {
 pub(crate) struct Registry {
     pub(crate) topo: Topology,
     pub(crate) map: WorkerMap,
-    pub(crate) mode: SchedulerMode,
-    pub(crate) push_threshold: u32,
+    /// The scheduling policy (shared layer with the simulator): victim
+    /// bias, coin flip, mailbox capacity, pushback threshold, backoff.
+    pub(crate) policy: SchedPolicy,
+    /// `policy.sleep.sleep_timeout_us` as a `Duration`, converted once.
+    sleep_timeout: Duration,
     pub(crate) stats_enabled: bool,
     stealers: Vec<TheStealer<JobRef>>,
     mailboxes: Vec<Mailbox>,
@@ -61,8 +67,7 @@ impl Registry {
     pub(crate) fn new(
         topo: Topology,
         map: WorkerMap,
-        mode: SchedulerMode,
-        push_threshold: u32,
+        policy: SchedPolicy,
         stats_enabled: bool,
         deque_capacity: usize,
         seed: u64,
@@ -76,17 +81,10 @@ impl Registry {
             owners.push(w);
             stealers.push(st);
         }
-        let dists = (0..p)
-            .map(|w| {
-                if p < 2 {
-                    None
-                } else if mode == SchedulerMode::NumaWs {
-                    Some(StealDistribution::biased(&topo, &map, w))
-                } else {
-                    Some(StealDistribution::uniform(p, w))
-                }
-            })
-            .collect();
+        // The policy layer builds every victim distribution — the same
+        // method the simulator's engine calls, so a seeded policy selects
+        // victims identically on both substrates.
+        let dists = (0..p).map(|w| policy.victim_distribution(&topo, &map, w)).collect();
         let push_candidates = (0..p)
             .map(|w| {
                 (0..s)
@@ -102,7 +100,7 @@ impl Registry {
             .collect();
         let registry = Arc::new(Registry {
             stealers,
-            mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..p).map(|_| Mailbox::new(policy.mailbox_capacity)).collect(),
             worker_stats: (0..p).map(|_| WorkerStats::default()).collect(),
             dists,
             push_candidates,
@@ -115,8 +113,8 @@ impl Registry {
             seed,
             topo,
             map,
-            mode,
-            push_threshold,
+            sleep_timeout: Duration::from_micros(policy.sleep.sleep_timeout_us),
+            policy,
             stats_enabled,
         });
         (registry, owners)
@@ -186,7 +184,7 @@ impl Registry {
         if self.injectors.iter().any(|q| !q.is_empty()) {
             return true;
         }
-        if self.mode == SchedulerMode::NumaWs && self.mailboxes[worker_index].is_full() {
+        if self.mailboxes[worker_index].has_job() {
             return true;
         }
         // Including our own deque: a scope task executed here may have
@@ -264,7 +262,21 @@ impl WorkerThread {
 
     #[inline]
     fn next_random(&self) -> u64 {
-        splitmix64(&self.rng)
+        // SplitMix64 from the shared policy layer, stepped statelessly over
+        // a plain cell: two loads and a store, no borrow-flag traffic on
+        // the steal path. The policy module pins this stream to the
+        // vendored `SmallRng`'s (see the test below), which the simulator
+        // draws from — same seed, same victim sequence on both substrates.
+        let (state, out) = SplitMix64::step(self.rng.get());
+        self.rng.set(state);
+        out
+    }
+
+    /// Counts one scope spawn (called by `Scope::spawn_at` next to the
+    /// deque push, which separately counts into `spawns`).
+    #[inline]
+    pub(crate) fn note_scope_spawn(&self) {
+        bump!(self.local, scope_spawns);
     }
 
     /// Pushes a job at a spawn point (work path).
@@ -351,21 +363,25 @@ impl WorkerThread {
     }
 
     /// One idle round: spin, then yield, then sleep on the pool condvar
-    /// with the [`DEEP_SLEEP`] safety-net timeout and `recheck` (see
-    /// [`Sleep::sleep`]). Only a producer-notified wake counts toward the
-    /// `wakeups` statistic.
+    /// with the policy's safety-net timeout and `recheck` (see
+    /// [`Sleep::sleep`]); the round thresholds come from the pool's
+    /// [`SleepPolicy`](nws_topology::SleepPolicy). Only a producer-notified
+    /// wake counts toward the `wakeups` statistic.
     fn idle_backoff(&self, spins: &mut u32, recheck: impl FnOnce() -> bool) {
         // Idle path: publish counters every round, so failed steal attempts
         // are as visible to snapshots as they were when bumped directly
         // (one uncontended fetch_add per nonzero cell — the cost the work
         // path no longer pays).
         self.flush_counters();
+        let sp = &self.registry.policy.sleep;
         *spins += 1;
-        if *spins < 10 {
+        if *spins < sp.spin_rounds {
             std::hint::spin_loop();
-        } else if *spins < 50 {
+        } else if *spins < sp.yield_rounds {
             std::thread::yield_now();
-        } else if self.registry.sleep.sleep(DEEP_SLEEP, recheck) == SleepOutcome::Notified {
+        } else if self.registry.sleep.sleep(self.registry.sleep_timeout, recheck)
+            == SleepOutcome::Notified
+        {
             bump!(self.local, wakeups);
         }
     }
@@ -385,12 +401,11 @@ impl WorkerThread {
             return Some(job);
         }
         // Fig 5 line 25-26: check own mailbox next; anything there is
-        // earmarked for our place.
-        if self.registry.mode == SchedulerMode::NumaWs {
-            if let Some(job) = self.registry.mailboxes[self.index].take() {
-                bump!(self.local, mailbox_takes);
-                return Some(job);
-            }
+        // earmarked for our place. (A zero-capacity mailbox — vanilla
+        // policies — is a no-op probe over an empty slot array.)
+        if let Some(job) = self.registry.mailboxes[self.index].take() {
+            bump!(self.local, mailbox_takes);
+            return Some(job);
         }
         if let Some(job) = self.take_injected(self.my_place().0) {
             return Some(job);
@@ -426,25 +441,30 @@ impl WorkerThread {
             bump!(self.local, remote_steal_attempts);
         }
 
-        if self.registry.mode == SchedulerMode::NumaWs {
-            // Coin flip between the victim's deque and its mailbox.
-            let tails = self.next_random() & 1 == 0;
-            if tails {
-                if let Some(job) = self.registry.mailboxes[victim].take() {
-                    bump!(self.local, mailbox_takes);
-                    if !self.is_foreign(&job) {
-                        // Outcome 2: earmarked for our socket — take it.
-                        return Some(job);
-                    }
-                    // Outcome 3: earmarked elsewhere — relay it onward; if
-                    // the episode exhausts the threshold, run it ourselves.
-                    return match self.pushback(job) {
-                        PushOutcome::Delivered => None,
-                        PushOutcome::Kept(job) => Some(job),
-                    };
+        // The policy's choice protocol between the victim's deque and its
+        // mailbox: a fair coin under the paper's protocol (required for the
+        // §IV bounds), or the two ablation extremes.
+        let try_mailbox = self.registry.policy.uses_mailboxes()
+            && match self.registry.policy.coin_flip {
+                CoinFlip::Fair => self.next_random() & 1 == 0,
+                CoinFlip::MailboxFirst => true,
+                CoinFlip::DequeOnly => false,
+            };
+        if try_mailbox {
+            if let Some(job) = self.registry.mailboxes[victim].take() {
+                bump!(self.local, mailbox_takes);
+                if !self.is_foreign(&job) {
+                    // Outcome 2: earmarked for our socket — take it.
+                    return Some(job);
                 }
-                // Outcome 1: mailbox empty — fall back to the deque.
+                // Outcome 3: earmarked elsewhere — relay it onward; if
+                // the episode exhausts the threshold, run it ourselves.
+                return match self.pushback(job) {
+                    PushOutcome::Delivered => None,
+                    PushOutcome::Kept(job) => Some(job),
+                };
             }
+            // Outcome 1: mailbox empty — fall back to the deque.
         }
 
         let job = self.registry.stealers[victim].steal()?;
@@ -458,7 +478,7 @@ impl WorkerThread {
         if self.registry.map.socket_of(victim) != self.registry.map.socket_of(self.index) {
             bump!(self.local, remote_steals);
         }
-        if self.registry.mode == SchedulerMode::NumaWs && self.is_foreign(&job) {
+        if self.registry.policy.uses_mailboxes() && self.is_foreign(&job) {
             return match self.pushback(job) {
                 PushOutcome::Delivered => None,
                 PushOutcome::Kept(job) => Some(job),
@@ -508,7 +528,7 @@ impl WorkerThread {
                 }
                 Err(back) => job = back,
             }
-            if attempts > self.registry.push_threshold {
+            if attempts > self.registry.policy.push_threshold {
                 bump!(self.local, push_failures);
                 break PushOutcome::Kept(job);
             }
@@ -518,27 +538,10 @@ impl WorkerThread {
     }
 }
 
-/// One SplitMix64 step (Steele, Lea, Flood 2014) over a plain cell — two
-/// loads and a store, no borrow-flag traffic. Deliberately the same stream
-/// the vendored `SmallRng` produces for the same seed, so seeded victim
-/// selection stayed deterministic across the `RefCell<SmallRng>` → `Cell`
-/// migration; the test below pins the equality (the duplication cannot be
-/// shared, because `splitmix64` is not part of the real `rand` API the
-/// vendored stand-in mirrors).
-#[inline]
-fn splitmix64(state: &Cell<u64>) -> u64 {
-    let s = state.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
-    state.set(s);
-    let mut z = s;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// Body of each worker OS thread.
 pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorker<JobRef>) {
     let worker = WorkerThread {
-        rng: Cell::new(registry.seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+        rng: Cell::new(worker_rng_seed(registry.seed, index)),
         clock: Clock::new(registry.stats_enabled, Category::Idle),
         local: LocalCounters::default(),
         registry,
@@ -602,18 +605,23 @@ pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorke
 
 #[cfg(test)]
 mod tests {
-    use super::splitmix64;
+    use nws_topology::SplitMix64;
     use rand::rngs::SmallRng;
     use rand::{RngCore, SeedableRng};
-    use std::cell::Cell;
 
+    /// Pins the policy layer's [`SplitMix64`] — the stream this crate's
+    /// steal loop draws victims and coin flips from — to the vendored
+    /// `SmallRng` stream the simulator draws from. This equality is what
+    /// makes a seeded `SchedPolicy` select the identical victim sequence
+    /// on both substrates (the cross-substrate fixture test lives in the
+    /// umbrella crate's `tests/policy_determinism.rs`).
     #[test]
-    fn splitmix64_matches_vendored_smallrng_stream() {
+    fn policy_splitmix_matches_vendored_smallrng_stream() {
         for seed in [0u64, 1, 0x5EED_CAFE, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
-            let cell = Cell::new(seed);
+            let mut ours = SplitMix64::new(seed);
             let mut rng = SmallRng::seed_from_u64(seed);
             for i in 0..64 {
-                assert_eq!(splitmix64(&cell), rng.next_u64(), "seed {seed:#x}, draw {i}");
+                assert_eq!(ours.next_u64(), rng.next_u64(), "seed {seed:#x}, draw {i}");
             }
         }
     }

@@ -183,6 +183,7 @@ impl<'scope> Scope<'scope> {
         let job_ref = unsafe { crate::job::JobRef::new(Box::into_raw(job), place) };
         match WorkerThread::current() {
             Some(worker) if Arc::ptr_eq(&worker.registry, &self.registry) => {
+                worker.note_scope_spawn();
                 if let Err(full) = worker.push(job_ref) {
                     // Deque full: run the task now (losing stealability,
                     // never correctness) — same degradation as `join`.

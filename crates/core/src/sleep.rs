@@ -30,12 +30,13 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::time::Duration;
 
-/// How long any sleeper (main loop or join waiter) waits before re-checking
-/// on its own. Pure safety net: every work-producing event — ingress,
-/// mailbox deposit, first push after quiescence, and a join latch set —
-/// signals the condvar explicitly; the timeout only bounds the cost of a
-/// wake lost to a stale relaxed sleeper probe.
-pub(crate) const DEEP_SLEEP: Duration = Duration::from_millis(10);
+// How long a sleeper waits before re-checking on its own is a *policy*
+// knob now (`nws_topology::SleepPolicy::sleep_timeout_us`, default 10ms,
+// converted once at registry construction). It stays a pure safety net:
+// every work-producing event — ingress, mailbox deposit, first push after
+// quiescence, and a join latch set — signals the condvar explicitly; the
+// timeout only bounds the cost of a wake lost to a stale relaxed sleeper
+// probe.
 
 /// How one [`Sleep::sleep`] call ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

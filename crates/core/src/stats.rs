@@ -67,6 +67,7 @@ pub(crate) struct WorkerStats {
     pub idle_ns: AtomicU64,
     pub spawns: AtomicU64,
     pub spawn_overflows: AtomicU64,
+    pub scope_spawns: AtomicU64,
     pub injector_takes: AtomicU64,
     pub wakeups: AtomicU64,
     pub steal_attempts: AtomicU64,
@@ -89,6 +90,7 @@ pub(crate) struct WorkerStats {
 pub(crate) struct LocalCounters {
     pub spawns: Cell<u64>,
     pub spawn_overflows: Cell<u64>,
+    pub scope_spawns: Cell<u64>,
     pub injector_takes: Cell<u64>,
     pub wakeups: Cell<u64>,
     pub steal_attempts: Cell<u64>,
@@ -124,6 +126,7 @@ impl LocalCounters {
         }
         drain(&self.spawns, &stats.spawns);
         drain(&self.spawn_overflows, &stats.spawn_overflows);
+        drain(&self.scope_spawns, &stats.scope_spawns);
         drain(&self.injector_takes, &stats.injector_takes);
         drain(&self.wakeups, &stats.wakeups);
         drain(&self.steal_attempts, &stats.steal_attempts);
@@ -154,6 +157,7 @@ impl WorkerStats {
             idle_ns: self.idle_ns.load(Relaxed),
             spawns: self.spawns.load(Relaxed),
             spawn_overflows: self.spawn_overflows.load(Relaxed),
+            scope_spawns: self.scope_spawns.load(Relaxed),
             injector_takes: self.injector_takes.load(Relaxed),
             wakeups: self.wakeups.load(Relaxed),
             steal_attempts: self.steal_attempts.load(Relaxed),
@@ -174,6 +178,7 @@ impl WorkerStats {
         self.idle_ns.store(0, Relaxed);
         self.spawns.store(0, Relaxed);
         self.spawn_overflows.store(0, Relaxed);
+        self.scope_spawns.store(0, Relaxed);
         self.injector_takes.store(0, Relaxed);
         self.wakeups.store(0, Relaxed);
         self.steal_attempts.store(0, Relaxed);
@@ -206,6 +211,14 @@ pub struct WorkerStatsSnapshot {
     pub spawns: u64,
     /// Spawns rejected by a full deque and run inline by the spawner.
     pub spawn_overflows: u64,
+    /// Tasks spawned through the structured [`Scope`](crate::Scope)
+    /// subsystem (`Scope::spawn` / `spawn_at`). A subset of [`spawns`]
+    /// when the spawner was a pool worker (scope spawns also push onto
+    /// the spawner's deque), counted separately so ablation tables can
+    /// show dynamic-task-set traffic per policy.
+    ///
+    /// [`spawns`]: WorkerStatsSnapshot::spawns
+    pub scope_spawns: u64,
     /// Jobs taken from the per-place external ingress queues (own place or,
     /// as a last resort, a remote one).
     pub injector_takes: u64,
@@ -287,6 +300,21 @@ impl PoolStats {
         self.workers.iter().map(|w| w.push_deliveries).sum()
     }
 
+    /// Total PUSHBACK deposit attempts.
+    pub fn total_push_attempts(&self) -> u64 {
+        self.workers.iter().map(|w| w.push_attempts).sum()
+    }
+
+    /// Total PUSHBACK episodes abandoned at the threshold.
+    pub fn total_push_failures(&self) -> u64 {
+        self.workers.iter().map(|w| w.push_failures).sum()
+    }
+
+    /// Total jobs taken out of mailboxes.
+    pub fn total_mailbox_takes(&self) -> u64 {
+        self.workers.iter().map(|w| w.mailbox_takes).sum()
+    }
+
     /// Total spawns.
     pub fn total_spawns(&self) -> u64 {
         self.workers.iter().map(|w| w.spawns).sum()
@@ -295,6 +323,11 @@ impl PoolStats {
     /// Total spawns that overflowed their deque and ran inline.
     pub fn total_spawn_overflows(&self) -> u64 {
         self.workers.iter().map(|w| w.spawn_overflows).sum()
+    }
+
+    /// Total tasks spawned through the structured scope subsystem.
+    pub fn total_scope_spawns(&self) -> u64 {
+        self.workers.iter().map(|w| w.scope_spawns).sum()
     }
 
     /// Total jobs taken from the external ingress queues.

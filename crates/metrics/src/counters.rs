@@ -1,0 +1,146 @@
+//! The unified scheduler-counter set and its table rendering.
+//!
+//! Both substrates count the same protocol events — steal attempts,
+//! successful/remote steals, mailbox takes, PUSHBACK traffic — and the
+//! runtime adds the service-shaped counters the simulator's single-root
+//! model has no analogue for (external ingress takes, sleep wakeups,
+//! deque-overflow spawns, scope spawns). [`SchedCounters`] is the common
+//! record an ablation table renders per policy: the policy-sweep driver
+//! converts `numa_ws::PoolStats` and `nws_sim::Counters` into this one
+//! shape and feeds [`counter_table`] rows from it.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// One run's scheduler counters, unified across substrates. Fields that
+/// only exist on one substrate are `Option`: `None` renders as `-`
+/// (structurally absent), which is different from a measured zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedCounters {
+    /// Deque spawns (runtime) / spawn pushes (simulator).
+    pub spawns: u64,
+    /// Steal attempts, successful or not.
+    pub steal_attempts: u64,
+    /// Successful deque steals.
+    pub steals: u64,
+    /// Successful steals that crossed sockets.
+    pub remote_steals: u64,
+    /// Jobs/frames taken out of mailboxes (own or a victim's).
+    pub mailbox_takes: u64,
+    /// PUSHBACK deposit attempts.
+    pub push_attempts: u64,
+    /// PUSHBACK deposits that landed in a mailbox.
+    pub push_deliveries: u64,
+    /// PUSHBACK episodes abandoned at the threshold.
+    pub push_failures: u64,
+    /// Spawns rejected by a full deque and run inline (runtime only).
+    pub spawn_overflows: Option<u64>,
+    /// Jobs taken from the external ingress queues (runtime only).
+    pub injector_takes: Option<u64>,
+    /// Producer-signalled sleeper wakeups (runtime only).
+    pub wakeups: Option<u64>,
+    /// Tasks spawned through the structured scope subsystem (runtime
+    /// only).
+    pub scope_spawns: Option<u64>,
+}
+
+impl SchedCounters {
+    /// Column headers for [`counter_table`], aligned with
+    /// [`row`](SchedCounters::row).
+    pub fn headers() -> Vec<&'static str> {
+        vec![
+            "spawns",
+            "steal att",
+            "steals",
+            "remote",
+            "mbox takes",
+            "push att",
+            "push del",
+            "push fail",
+            "overflow",
+            "ingress",
+            "wakeups",
+            "scope",
+        ]
+    }
+
+    /// This record as table cells, in [`headers`](SchedCounters::headers)
+    /// order. Substrate-absent counters render as `-`.
+    pub fn row(&self) -> Vec<String> {
+        fn opt(v: Option<u64>) -> String {
+            v.map_or_else(|| "-".to_string(), |n| n.to_string())
+        }
+        vec![
+            self.spawns.to_string(),
+            self.steal_attempts.to_string(),
+            self.steals.to_string(),
+            self.remote_steals.to_string(),
+            self.mailbox_takes.to_string(),
+            self.push_attempts.to_string(),
+            self.push_deliveries.to_string(),
+            self.push_failures.to_string(),
+            opt(self.spawn_overflows),
+            opt(self.injector_takes),
+            opt(self.wakeups),
+            opt(self.scope_spawns),
+        ]
+    }
+}
+
+/// Builds the skeleton of a per-policy counter table: a leading column
+/// named `label` followed by the [`SchedCounters::headers`] columns. Append
+/// one row per policy with [`counter_row`].
+pub fn counter_table(label: &'static str) -> Table {
+    let mut headers = vec![label];
+    headers.extend(SchedCounters::headers());
+    Table::new(headers)
+}
+
+/// One table row: `name` followed by the counter cells.
+pub fn counter_row(name: &str, counters: &SchedCounters) -> Vec<String> {
+    let mut row = vec![name.to_string()];
+    row.extend(counters.row());
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_and_row_align() {
+        let c = SchedCounters {
+            spawns: 100,
+            steal_attempts: 40,
+            steals: 9,
+            remote_steals: 3,
+            mailbox_takes: 2,
+            push_attempts: 5,
+            push_deliveries: 4,
+            push_failures: 1,
+            spawn_overflows: Some(0),
+            injector_takes: Some(7),
+            wakeups: Some(11),
+            scope_spawns: Some(13),
+        };
+        assert_eq!(SchedCounters::headers().len(), c.row().len());
+    }
+
+    #[test]
+    fn absent_counters_render_as_dash() {
+        let sim_side = SchedCounters { steals: 5, ..Default::default() };
+        let row = sim_side.row();
+        assert_eq!(row[2], "5");
+        assert_eq!(&row[8..], ["-", "-", "-", "-"], "runtime-only counters absent on sim");
+    }
+
+    #[test]
+    fn table_accepts_counter_rows() {
+        let mut t = counter_table("policy");
+        t.row(counter_row("vanilla", &SchedCounters::default()));
+        t.row(counter_row("numa-ws", &SchedCounters { steals: 2, ..Default::default() }));
+        let rendered = t.to_string();
+        assert!(rendered.contains("numa-ws"));
+        assert!(rendered.contains("mbox takes"));
+    }
+}

@@ -4,7 +4,9 @@
 #![warn(missing_docs)]
 
 mod breakdown;
+mod counters;
 mod table;
 
 pub use breakdown::{cycles_to_seconds, Breakdown, CYCLES_PER_SECOND};
+pub use counters::{counter_row, counter_table, SchedCounters};
 pub use table::{cell_with_ratio, Table};

@@ -1,35 +1,31 @@
-//! Simulation configuration: scheduler selection, costs, and ablation knobs.
+//! Simulation configuration: scheduler selection, costs, and ablation
+//! knobs.
+//!
+//! The scheduling knobs themselves (victim bias, coin flip, mailbox
+//! capacity, pushback threshold) live in the shared policy layer —
+//! [`nws_topology::SchedPolicy`] — which the real runtime's `PoolBuilder`
+//! consumes too, so `SimConfig::vanilla()`/`numa_ws()` and a real pool
+//! built from the same preset provably describe the same protocols. This
+//! module adds what only the simulator needs: the machine cost model and
+//! the memory system parameters.
 
 use crate::memory::{CacheConfig, ContentionModel, LatencyModel};
-use nws_topology::Placement;
+use nws_topology::{Placement, SchedPolicy};
 use serde::{Deserialize, Serialize};
 
-/// Which scheduling algorithm to simulate.
+/// Which scheduling algorithm a simulation runs — a thin two-way label
+/// over the policy (see [`SimConfig::kind`]); the mechanisms themselves
+/// are switched individually by the embedded [`SchedPolicy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SchedulerKind {
     /// The classic work-stealing scheduler of Cilk Plus (paper Figure 2):
     /// uniform victim selection, no mailboxes, no work pushing. This is the
-    /// baseline platform of the evaluation.
+    /// baseline platform of the evaluation ([`SchedPolicy::vanilla`]).
     Classic,
     /// The NUMA-WS scheduler (paper Figure 5): locality-biased steals,
     /// single-entry mailboxes, lazy work pushing with a constant threshold,
-    /// and the coin-flip steal protocol.
+    /// and the coin-flip steal protocol ([`SchedPolicy::numa_ws`]).
     NumaWs,
-}
-
-/// How a NUMA-WS thief chooses between a victim's deque and its mailbox.
-/// `Fair` is the paper's protocol; the others exist for the ablation that
-/// §IV argues motivates the coin flip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum CoinFlip {
-    /// Flip a fair coin (the paper's protocol, required for the bounds).
-    Fair,
-    /// Always inspect the mailbox first — breaks the §IV argument that the
-    /// critical node at a deque head is found with probability ≥ 1/(2cP).
-    MailboxFirst,
-    /// Never inspect mailboxes when stealing (mailboxes drain only by their
-    /// owners).
-    DequeOnly,
 }
 
 /// Scheduler operation costs in cycles. Work-path costs (spawn push, pop,
@@ -83,23 +79,17 @@ impl Default for SchedCosts {
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Scheduler algorithm.
-    pub scheduler: SchedulerKind,
+    /// The scheduling policy: victim bias, coin flip, mailbox capacity,
+    /// pushback threshold (shared with the runtime's `PoolBuilder`; the
+    /// sleep parameters are inert here — simulated workers have no OS
+    /// threads to park).
+    pub policy: SchedPolicy,
     /// Number of workers (P).
     pub workers: usize,
     /// How workers map onto sockets.
     pub placement: Placement,
     /// RNG seed (runs are deterministic given a seed).
     pub seed: u64,
-    /// PUSHBACK retry threshold (the paper's constant "pushing threshold").
-    pub push_threshold: u32,
-    /// Mailbox capacity; the paper requires exactly 1 (ablation knob).
-    pub mailbox_capacity: usize,
-    /// Thief mailbox/deque choice protocol (ablation knob).
-    pub coin_flip: CoinFlip,
-    /// Locality-biased victim selection (ablation knob; `false` gives
-    /// uniform selection even under `NumaWs`).
-    pub biased_steals: bool,
     /// Memory latencies.
     pub latency: LatencyModel,
     /// Cache capacities.
@@ -112,17 +102,32 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// Classic work stealing on `workers` packed workers — the Cilk Plus
-    /// baseline.
+    /// baseline ([`SchedPolicy::vanilla`]).
     pub fn classic(workers: usize) -> Self {
+        Self::with_policy(SchedPolicy::vanilla(), workers)
+    }
+
+    /// Alias for [`classic`](SimConfig::classic), matching the policy
+    /// preset's name.
+    pub fn vanilla(workers: usize) -> Self {
+        Self::classic(workers)
+    }
+
+    /// NUMA-WS on `workers` packed workers with the paper's protocol
+    /// ([`SchedPolicy::numa_ws`] — the same preset `PoolBuilder` defaults
+    /// to).
+    pub fn numa_ws(workers: usize) -> Self {
+        Self::with_policy(SchedPolicy::numa_ws(), workers)
+    }
+
+    /// A simulation of `workers` packed workers under an arbitrary
+    /// scheduling policy (ablation grid cells included).
+    pub fn with_policy(policy: SchedPolicy, workers: usize) -> Self {
         SimConfig {
-            scheduler: SchedulerKind::Classic,
+            policy,
             workers,
             placement: Placement::Packed,
             seed: 0x5EED,
-            push_threshold: 4,
-            mailbox_capacity: 0,
-            coin_flip: CoinFlip::DequeOnly,
-            biased_steals: false,
             latency: LatencyModel::default(),
             caches: CacheConfig::default(),
             contention: ContentionModel::default(),
@@ -130,21 +135,16 @@ impl SimConfig {
         }
     }
 
-    /// NUMA-WS on `workers` packed workers with the paper's protocol.
-    pub fn numa_ws(workers: usize) -> Self {
-        SimConfig {
-            scheduler: SchedulerKind::NumaWs,
-            workers,
-            placement: Placement::Packed,
-            seed: 0x5EED,
-            push_threshold: 4,
-            mailbox_capacity: 1,
-            coin_flip: CoinFlip::Fair,
-            biased_steals: true,
-            latency: LatencyModel::default(),
-            caches: CacheConfig::default(),
-            contention: ContentionModel::default(),
-            costs: SchedCosts::default(),
+    /// The two-way scheduler label of this configuration: any NUMA
+    /// mechanism counts as NUMA-WS. The classification lives on the
+    /// shared policy layer ([`SchedPolicy::has_numa_mechanisms`]), the
+    /// same definition behind the runtime's `SchedulerMode::of`, so the
+    /// two labels can never disagree about the same policy.
+    pub fn kind(&self) -> SchedulerKind {
+        if self.policy.has_numa_mechanisms() {
+            SchedulerKind::NumaWs
+        } else {
+            SchedulerKind::Classic
         }
     }
 
@@ -164,23 +164,44 @@ impl SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nws_topology::{CoinFlip, StealBias};
 
     #[test]
     fn classic_has_no_numa_machinery() {
         let c = SimConfig::classic(32);
-        assert_eq!(c.scheduler, SchedulerKind::Classic);
-        assert_eq!(c.mailbox_capacity, 0);
-        assert!(!c.biased_steals);
-        assert_eq!(c.coin_flip, CoinFlip::DequeOnly);
+        assert_eq!(c.kind(), SchedulerKind::Classic);
+        assert_eq!(c.policy, SchedPolicy::vanilla());
+        assert_eq!(c.policy.mailbox_capacity, 0);
+        assert_eq!(c.policy.bias, StealBias::Uniform);
+        assert_eq!(c.policy.coin_flip, CoinFlip::DequeOnly);
     }
 
     #[test]
     fn numa_ws_defaults_match_paper() {
         let c = SimConfig::numa_ws(32);
-        assert_eq!(c.mailbox_capacity, 1);
-        assert!(c.biased_steals);
-        assert_eq!(c.coin_flip, CoinFlip::Fair);
-        assert!(c.push_threshold >= 1);
+        assert_eq!(c.kind(), SchedulerKind::NumaWs);
+        assert_eq!(c.policy, SchedPolicy::numa_ws());
+        assert_eq!(c.policy.mailbox_capacity, 1);
+        assert_eq!(c.policy.bias, StealBias::InverseDistance);
+        assert_eq!(c.policy.coin_flip, CoinFlip::Fair);
+        assert!(c.policy.push_threshold >= 1);
+    }
+
+    #[test]
+    fn vanilla_is_classic() {
+        assert_eq!(SimConfig::vanilla(8).policy, SimConfig::classic(8).policy);
+    }
+
+    #[test]
+    fn kind_classifies_ablation_cells() {
+        assert_eq!(
+            SimConfig::with_policy(SchedPolicy::bias_only(), 8).kind(),
+            SchedulerKind::NumaWs
+        );
+        assert_eq!(
+            SimConfig::with_policy(SchedPolicy::mailbox_only(), 8).kind(),
+            SchedulerKind::NumaWs
+        );
     }
 
     #[test]

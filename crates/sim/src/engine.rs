@@ -13,11 +13,13 @@
 //! turns are serialized; the concurrency *protocol* (who may take what,
 //! when) follows the paper's pseudocode exactly.
 
-use crate::config::{CoinFlip, SchedulerKind, SimConfig};
+use crate::config::SimConfig;
 use crate::dag::{Dag, FrameId, Step};
 use crate::memory::MemorySystem;
 use crate::report::{Counters, SimReport, WorkerTimes};
-use nws_topology::{Place, StealDistribution, Topology, TopologyError, WorkerMap};
+use nws_topology::{
+    worker_rng_seed, CoinFlip, Place, StealDistribution, Topology, TopologyError, WorkerMap,
+};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::VecDeque;
@@ -120,7 +122,6 @@ struct Engine<'a> {
     cfg: &'a SimConfig,
     map: WorkerMap,
     mem: MemorySystem,
-    numa_ws: bool,
 
     clocks: Vec<u64>,
     work: Vec<u64>,
@@ -150,17 +151,10 @@ impl<'a> Engine<'a> {
             cfg.caches,
             cfg.contention.clone(),
         );
-        let dists = (0..p)
-            .map(|w| {
-                if p < 2 {
-                    None
-                } else if cfg.biased_steals {
-                    Some(StealDistribution::biased(topo, &map, w))
-                } else {
-                    Some(StealDistribution::uniform(p, w))
-                }
-            })
-            .collect();
+        // Built by the shared policy layer — the same method the runtime's
+        // registry calls, so a seeded policy selects victims identically
+        // on both substrates.
+        let dists = (0..p).map(|w| cfg.policy.victim_distribution(topo, &map, w)).collect();
         let mut states = vec![WState::Steal; p];
         states[0] = WState::Exec { frame: dag.root().0, step: 0 };
         Engine {
@@ -168,18 +162,13 @@ impl<'a> Engine<'a> {
             dag,
             cfg,
             mem,
-            numa_ws: cfg.scheduler == SchedulerKind::NumaWs,
             clocks: vec![0; p],
             work: vec![0; p],
             sched: vec![0; p],
             states,
             deques: (0..p).map(|_| VecDeque::new()).collect(),
             mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
-            rngs: (0..p)
-                .map(|w| {
-                    SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x9E3779B97F4A7C15))
-                })
-                .collect(),
+            rngs: (0..p).map(|w| SmallRng::seed_from_u64(worker_rng_seed(cfg.seed, w))).collect(),
             dists,
             join: vec![0; dag.num_frames()],
             stolen: vec![false; dag.num_frames()],
@@ -342,11 +331,12 @@ impl<'a> Engine<'a> {
         self.states[w] = WState::Steal;
     }
 
-    /// A worker holds a ready full frame. Under NUMA-WS, a frame earmarked
-    /// for another place is pushed back (Fig 5 l.5-11 / l.21-26); on push
-    /// failure past the threshold the worker keeps it.
+    /// A worker holds a ready full frame. Under a mailbox-using policy, a
+    /// frame earmarked for another place is pushed back (Fig 5 l.5-11 /
+    /// l.21-26); on push failure past the threshold the worker keeps it.
     fn resume_full(&mut self, w: usize, cont: Cont) {
-        if self.numa_ws && self.is_foreign(w, cont.0) && self.pushback(w, cont) {
+        if self.cfg.policy.uses_mailboxes() && self.is_foreign(w, cont.0) && self.pushback(w, cont)
+        {
             self.states[w] = WState::Steal;
         } else {
             self.states[w] = WState::Exec { frame: cont.0, step: cont.1 };
@@ -356,7 +346,7 @@ impl<'a> Engine<'a> {
     /// One PUSHBACK episode. Returns `true` if the frame was delivered to a
     /// mailbox on its designated place.
     fn pushback(&mut self, w: usize, cont: Cont) -> bool {
-        if self.cfg.mailbox_capacity == 0 {
+        if self.cfg.policy.mailbox_capacity == 0 {
             return false;
         }
         let place = self.place_of_frame(cont.0);
@@ -375,12 +365,12 @@ impl<'a> Engine<'a> {
                 + self.cfg.costs.steal_per_distance * self.distance(w, r);
             self.clocks[w] += cost;
             self.sched[w] += cost;
-            if self.mailboxes[r].len() < self.cfg.mailbox_capacity {
+            if self.mailboxes[r].len() < self.cfg.policy.mailbox_capacity {
                 self.mailboxes[r].push_back(cont);
                 self.counters.push_deliveries += 1;
                 return true;
             }
-            if attempts > self.cfg.push_threshold {
+            if attempts > self.cfg.policy.push_threshold {
                 self.counters.push_failures += 1;
                 return false;
             }
@@ -406,8 +396,8 @@ impl<'a> Engine<'a> {
         self.counters.steal_attempts += 1;
 
         // Coin flip between deque and mailbox (Fig 5 / §III-B).
-        let try_mailbox = self.numa_ws
-            && match self.cfg.coin_flip {
+        let try_mailbox = self.cfg.policy.uses_mailboxes()
+            && match self.cfg.policy.coin_flip {
                 CoinFlip::Fair => self.rngs[w].next_u64() & 1 == 0,
                 CoinFlip::MailboxFirst => true,
                 CoinFlip::DequeOnly => false,
@@ -693,7 +683,7 @@ mod tests {
     #[test]
     fn mailbox_capacity_zero_disables_pushing() {
         let mut cfg = SimConfig::numa_ws(8);
-        cfg.mailbox_capacity = 0;
+        cfg.policy.mailbox_capacity = 0;
         let dag = tree_dag(64, 500);
         let topo = presets::paper_machine();
         let r = Simulation::new(&topo, cfg, &dag).unwrap().run();

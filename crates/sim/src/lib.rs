@@ -38,11 +38,14 @@ mod engine;
 mod memory;
 mod report;
 
-pub use config::{CoinFlip, SchedCosts, SchedulerKind, SimConfig};
+pub use config::{SchedCosts, SchedulerKind, SimConfig};
+// The scheduling-policy layer is shared with the real runtime; re-export
+// it so simulator users keep one import path for the ablation knobs.
 pub use dag::{Dag, DagBuilder, FrameBuilder, FrameDef, FrameId, Step, Strand};
 pub use engine::Simulation;
 pub use memory::{
     CacheConfig, ContentionModel, FifoCache, LatencyModel, MemorySystem, PageId, PagePolicy,
     Region, RegionId, Touch, LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES, STREAM_DISCOUNT_PCT,
 };
+pub use nws_topology::{CoinFlip, SchedPolicy, SleepPolicy, StealBias};
 pub use report::{Counters, SimReport, WorkerTimes};

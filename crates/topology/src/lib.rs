@@ -35,6 +35,7 @@ pub mod detect;
 mod distance;
 mod ids;
 mod placement;
+pub mod policy;
 pub mod presets;
 mod steal;
 mod topology;
@@ -42,5 +43,6 @@ mod topology;
 pub use distance::DistanceMatrix;
 pub use ids::{CoreId, Place, SocketId};
 pub use placement::{Placement, WorkerMap};
+pub use policy::{worker_rng_seed, CoinFlip, SchedPolicy, SleepPolicy, SplitMix64, StealBias};
 pub use steal::StealDistribution;
 pub use topology::{Topology, TopologyBuilder, TopologyError};

@@ -1,0 +1,508 @@
+//! The scheduling-policy layer: one sweepable description of every
+//! NUMA-WS protocol knob, shared by the real runtime (`numa_ws`) and the
+//! discrete-event simulator (`nws_sim`).
+//!
+//! The paper's evaluation is an ablation story — vanilla work stealing
+//! vs. NUMA-WS with distance-biased victims, single-entry mailboxes, the
+//! fair coin-flip steal protocol, and lazy pushback (§III–§V). Before this
+//! module existed the policy logic lived twice and disagreed: the simulator
+//! exposed coin-flip modes and mailbox capacities while the runtime
+//! hard-coded a fair coin and capacity-1 mailboxes. [`SchedPolicy`] is now
+//! the single source of truth: `PoolBuilder` consumes it at pool build,
+//! `SimConfig` embeds it, and the ablation presets
+//! ([`SchedPolicy::vanilla`], [`bias_only`](SchedPolicy::bias_only),
+//! [`mailbox_only`](SchedPolicy::mailbox_only),
+//! [`numa_ws`](SchedPolicy::numa_ws)) describe the same protocols on both
+//! substrates.
+//!
+//! Determinism is part of the contract: both substrates derive their
+//! per-worker random streams from [`worker_rng_seed`] and a SplitMix64
+//! generator ([`SplitMix64`], pinned to the vendored `SmallRng` stream), so
+//! the same seed and the same policy produce the identical victim-index
+//! sequence from [`StealDistribution::sample`] in the runtime's steal loop
+//! and the simulator's engine.
+
+use crate::{StealDistribution, Topology, WorkerMap};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// How a thief chooses its victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StealBias {
+    /// Uniform victim selection over all other workers — classic work
+    /// stealing (paper Figure 2).
+    Uniform,
+    /// Inverse-distance weights in the numactl convention
+    /// (`weight ∝ 10/distance`, paper §III-B): local victims most likely,
+    /// the most remote socket still reachable, preserving the `≥ 1/(cP)`
+    /// per-deque probability the §IV bounds need.
+    InverseDistance,
+}
+
+/// How a NUMA-WS thief chooses between a victim's deque and its mailbox.
+/// `Fair` is the paper's protocol; the others exist for the ablation that
+/// §IV argues motivates the coin flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoinFlip {
+    /// Flip a fair coin (the paper's protocol, required for the bounds:
+    /// the critical node at a deque head is found with probability
+    /// ≥ 1/(2cP) only if deques keep half the probability mass).
+    Fair,
+    /// Always inspect the mailbox first — breaks the §IV argument.
+    MailboxFirst,
+    /// Never inspect mailboxes when stealing (mailboxes drain only by
+    /// their owners).
+    DequeOnly,
+}
+
+/// Idle-worker backoff parameters: how long a worker spins, yields, and
+/// finally sleeps on the pool condvar between failed work searches. The
+/// simulator has no OS threads, so only the runtime consumes these — they
+/// live here so one [`SchedPolicy`] value fully describes a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SleepPolicy {
+    /// Idle rounds spent in `spin_loop` before escalating.
+    pub spin_rounds: u32,
+    /// Idle rounds (cumulative) spent in `yield_now` before sleeping.
+    pub yield_rounds: u32,
+    /// Safety-net condvar timeout, in microseconds. Every producer signals
+    /// the condvar explicitly; this only bounds the cost of a wake lost to
+    /// a stale relaxed sleeper probe.
+    pub sleep_timeout_us: u64,
+}
+
+impl Default for SleepPolicy {
+    fn default() -> Self {
+        SleepPolicy { spin_rounds: 10, yield_rounds: 50, sleep_timeout_us: 10_000 }
+    }
+}
+
+/// A complete scheduling policy: victim selection, mailbox protocol,
+/// mailbox capacity, pushback threshold, and sleep/backoff parameters.
+///
+/// The four ablation presets span the paper's evaluation grid:
+///
+/// | preset | bias | mailboxes | coin flip |
+/// |---|---|---|---|
+/// | [`vanilla`](SchedPolicy::vanilla) | uniform | none | deque-only |
+/// | [`bias_only`](SchedPolicy::bias_only) | inverse-distance | none | deque-only |
+/// | [`mailbox_only`](SchedPolicy::mailbox_only) | uniform | capacity 1 | fair |
+/// | [`numa_ws`](SchedPolicy::numa_ws) | inverse-distance | capacity 1 | fair |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SchedPolicy {
+    /// Victim-selection bias.
+    pub bias: StealBias,
+    /// Thief mailbox/deque choice protocol.
+    pub coin_flip: CoinFlip,
+    /// Mailbox capacity per worker; the paper requires exactly 1, and 0
+    /// disables mailboxes (and with them lazy pushback) entirely.
+    /// Capacities above 1 are ablation-only, and there the substrates'
+    /// queueing disciplines differ (the runtime's lock-free slot array is
+    /// not FIFO under interleaving; the simulator's queues are).
+    pub mailbox_capacity: usize,
+    /// PUSHBACK retry threshold (the paper's constant "pushing threshold").
+    pub push_threshold: u32,
+    /// Idle-worker backoff parameters (runtime substrate only).
+    pub sleep: SleepPolicy,
+}
+
+impl SchedPolicy {
+    /// Classic work stealing as in Cilk Plus (paper Figure 2): uniform
+    /// victims, no mailboxes, no work pushing. The evaluation baseline.
+    pub fn vanilla() -> Self {
+        SchedPolicy {
+            bias: StealBias::Uniform,
+            coin_flip: CoinFlip::DequeOnly,
+            mailbox_capacity: 0,
+            push_threshold: 4,
+            sleep: SleepPolicy::default(),
+        }
+    }
+
+    /// The full NUMA-WS protocol (paper Figure 5): distance-biased
+    /// victims, single-entry mailboxes, fair coin flip, lazy pushback.
+    pub fn numa_ws() -> Self {
+        SchedPolicy {
+            bias: StealBias::InverseDistance,
+            coin_flip: CoinFlip::Fair,
+            mailbox_capacity: 1,
+            push_threshold: 4,
+            sleep: SleepPolicy::default(),
+        }
+    }
+
+    /// Distance-biased victims only — no mailboxes, no pushback. The
+    /// "does the bias alone help?" ablation cell.
+    pub fn bias_only() -> Self {
+        SchedPolicy { bias: StealBias::InverseDistance, ..SchedPolicy::vanilla() }
+    }
+
+    /// Mailboxes and lazy pushback with uniform victims. The "do
+    /// mailboxes alone help?" ablation cell.
+    pub fn mailbox_only() -> Self {
+        SchedPolicy { bias: StealBias::Uniform, ..SchedPolicy::numa_ws() }
+    }
+
+    /// The four-cell ablation grid of the paper's evaluation, in
+    /// baseline-to-full order, with display names.
+    pub fn ablation_grid() -> [(&'static str, SchedPolicy); 4] {
+        [
+            ("vanilla", SchedPolicy::vanilla()),
+            ("bias-only", SchedPolicy::bias_only()),
+            ("mailbox-only", SchedPolicy::mailbox_only()),
+            ("numa-ws", SchedPolicy::numa_ws()),
+        ]
+    }
+
+    /// Does this policy use mailboxes (and therefore lazy pushback) at
+    /// all?
+    #[inline]
+    pub fn uses_mailboxes(&self) -> bool {
+        self.mailbox_capacity > 0
+    }
+
+    /// Does this policy employ any NUMA mechanism (mailboxes or a
+    /// non-uniform victim bias)? The shared two-way classification behind
+    /// the runtime's `SchedulerMode::of` and the simulator's
+    /// `SimConfig::kind` — one definition, so the two labels can never
+    /// disagree about the same policy.
+    #[inline]
+    pub fn has_numa_mechanisms(&self) -> bool {
+        self.uses_mailboxes() || self.bias != StealBias::Uniform
+    }
+
+    /// Builder-style bias override.
+    pub fn with_bias(mut self, bias: StealBias) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Builder-style coin-flip override.
+    pub fn with_coin_flip(mut self, flip: CoinFlip) -> Self {
+        self.coin_flip = flip;
+        self
+    }
+
+    /// Builder-style mailbox-capacity override.
+    pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {
+        self.mailbox_capacity = capacity;
+        self
+    }
+
+    /// Builder-style pushback-threshold override.
+    pub fn with_push_threshold(mut self, threshold: u32) -> Self {
+        self.push_threshold = threshold;
+        self
+    }
+
+    /// Builder-style sleep-policy override.
+    pub fn with_sleep(mut self, sleep: SleepPolicy) -> Self {
+        self.sleep = sleep;
+        self
+    }
+
+    /// The victim-selection distribution this policy gives a thief, or
+    /// `None` when `map` has fewer than two workers (a lone worker never
+    /// steals). Both the runtime's steal loop and the simulator's engine
+    /// build their distributions through this one method, so a policy
+    /// provably selects victims identically on both substrates.
+    pub fn victim_distribution(
+        &self,
+        topo: &Topology,
+        map: &WorkerMap,
+        thief: usize,
+    ) -> Option<StealDistribution> {
+        if map.num_workers() < 2 {
+            return None;
+        }
+        Some(match self.bias {
+            StealBias::Uniform => StealDistribution::uniform(map.num_workers(), thief),
+            StealBias::InverseDistance => StealDistribution::biased(topo, map, thief),
+        })
+    }
+}
+
+impl Default for SchedPolicy {
+    /// The paper's protocol: [`SchedPolicy::numa_ws`].
+    fn default() -> Self {
+        SchedPolicy::numa_ws()
+    }
+}
+
+/// The canonical flat text encoding of a policy, e.g.
+/// `bias=inverse-distance coin=fair mailbox=1 push=4 sleep=10/50/10000`.
+/// This is the round-trip format [`FromStr`] parses; the vendored `serde`
+/// is a no-op stand-in (see `vendor/serde`), so the repo's own encoding is
+/// what sweep drivers and snapshots persist.
+impl fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bias = match self.bias {
+            StealBias::Uniform => "uniform",
+            StealBias::InverseDistance => "inverse-distance",
+        };
+        let coin = match self.coin_flip {
+            CoinFlip::Fair => "fair",
+            CoinFlip::MailboxFirst => "mailbox-first",
+            CoinFlip::DequeOnly => "deque-only",
+        };
+        write!(
+            f,
+            "bias={bias} coin={coin} mailbox={} push={} sleep={}/{}/{}",
+            self.mailbox_capacity,
+            self.push_threshold,
+            self.sleep.spin_rounds,
+            self.sleep.yield_rounds,
+            self.sleep.sleep_timeout_us
+        )
+    }
+}
+
+/// Error from parsing a [`SchedPolicy`] out of its canonical encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scheduling policy: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for SchedPolicy {
+    type Err = ParsePolicyError;
+
+    /// Parses the [`Display`](SchedPolicy#impl-Display-for-SchedPolicy)
+    /// encoding, or one of the preset names (`vanilla`, `bias-only`,
+    /// `mailbox-only`, `numa-ws`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            // An unset variable or blank line must not silently become the
+            // full NUMA-WS preset.
+            return Err(ParsePolicyError("empty policy string".into()));
+        }
+        for (name, preset) in SchedPolicy::ablation_grid() {
+            if s == name {
+                return Ok(preset);
+            }
+        }
+        let mut policy = SchedPolicy::numa_ws();
+        for token in s.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| ParsePolicyError(format!("token {token:?} is not key=value")))?;
+            match key {
+                "bias" => {
+                    policy.bias = match value {
+                        "uniform" => StealBias::Uniform,
+                        "inverse-distance" => StealBias::InverseDistance,
+                        other => return Err(ParsePolicyError(format!("unknown bias {other:?}"))),
+                    }
+                }
+                "coin" => {
+                    policy.coin_flip = match value {
+                        "fair" => CoinFlip::Fair,
+                        "mailbox-first" => CoinFlip::MailboxFirst,
+                        "deque-only" => CoinFlip::DequeOnly,
+                        other => {
+                            return Err(ParsePolicyError(format!("unknown coin flip {other:?}")))
+                        }
+                    }
+                }
+                "mailbox" => {
+                    policy.mailbox_capacity = value
+                        .parse()
+                        .map_err(|e| ParsePolicyError(format!("mailbox={value:?}: {e}")))?;
+                }
+                "push" => {
+                    policy.push_threshold = value
+                        .parse()
+                        .map_err(|e| ParsePolicyError(format!("push={value:?}: {e}")))?;
+                }
+                "sleep" => {
+                    let mut parts = value.splitn(3, '/');
+                    let mut next = |what: &str| {
+                        parts.next().ok_or_else(|| {
+                            ParsePolicyError(format!("sleep={value:?}: missing {what}"))
+                        })
+                    };
+                    let spin = next("spin")?;
+                    let yld = next("yield")?;
+                    let timeout = next("timeout")?;
+                    policy.sleep = SleepPolicy {
+                        spin_rounds: spin
+                            .parse()
+                            .map_err(|e| ParsePolicyError(format!("sleep spin {spin:?}: {e}")))?,
+                        yield_rounds: yld
+                            .parse()
+                            .map_err(|e| ParsePolicyError(format!("sleep yield {yld:?}: {e}")))?,
+                        sleep_timeout_us: timeout.parse().map_err(|e| {
+                            ParsePolicyError(format!("sleep timeout {timeout:?}: {e}"))
+                        })?,
+                    };
+                }
+                other => return Err(ParsePolicyError(format!("unknown key {other:?}"))),
+            }
+        }
+        Ok(policy)
+    }
+}
+
+/// Derives worker `index`'s RNG seed from a run seed. Both substrates use
+/// this one derivation, so seeded victim selection is comparable between
+/// the runtime and the simulator.
+#[inline]
+pub fn worker_rng_seed(seed: u64, index: usize) -> u64 {
+    seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// SplitMix64 (Steele, Lea, Flood 2014): the random stream behind victim
+/// selection and coin flips on both substrates. Deliberately the same
+/// stream the vendored `SmallRng` produces for the same seed (pinned by a
+/// test below), so the simulator — which draws through `rand` — and the
+/// runtime — which steps this struct directly — sample identical victim
+/// sequences for the same seed and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Starts the stream at `seed` (use [`worker_rng_seed`] for a worker's
+    /// stream).
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Advances `state` one step, returning `(next_state, output)`. The
+    /// runtime's worker threads use this stateless form over a `Cell`
+    /// so the steal path stays two loads and a store.
+    #[inline]
+    pub fn step(state: u64) -> (u64, u64) {
+        let s = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (s, z ^ (z >> 31))
+    }
+
+    /// The next value of the stream.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let (state, out) = Self::step(self.0);
+        self.0 = state;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{presets, Placement};
+
+    #[test]
+    fn presets_match_the_paper() {
+        let v = SchedPolicy::vanilla();
+        assert_eq!(v.bias, StealBias::Uniform);
+        assert_eq!(v.coin_flip, CoinFlip::DequeOnly);
+        assert!(!v.uses_mailboxes());
+
+        let n = SchedPolicy::numa_ws();
+        assert_eq!(n.bias, StealBias::InverseDistance);
+        assert_eq!(n.coin_flip, CoinFlip::Fair);
+        assert_eq!(n.mailbox_capacity, 1, "paper §III-B: exactly one entry");
+        assert!(n.push_threshold >= 1);
+        assert_eq!(SchedPolicy::default(), n);
+    }
+
+    #[test]
+    fn numa_mechanism_classification() {
+        assert!(!SchedPolicy::vanilla().has_numa_mechanisms());
+        assert!(SchedPolicy::bias_only().has_numa_mechanisms());
+        assert!(SchedPolicy::mailbox_only().has_numa_mechanisms());
+        assert!(SchedPolicy::numa_ws().has_numa_mechanisms());
+    }
+
+    #[test]
+    fn grid_cells_differ_pairwise() {
+        let grid = SchedPolicy::ablation_grid();
+        for (i, (_, a)) in grid.iter().enumerate() {
+            for (_, b) in grid.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_every_preset() {
+        for (_, policy) in SchedPolicy::ablation_grid() {
+            let text = policy.to_string();
+            let parsed: SchedPolicy = text.parse().expect("canonical encoding parses");
+            assert_eq!(parsed, policy, "round-trip through {text:?}");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_custom_knobs() {
+        let policy = SchedPolicy::numa_ws()
+            .with_coin_flip(CoinFlip::MailboxFirst)
+            .with_mailbox_capacity(16)
+            .with_push_threshold(64)
+            .with_sleep(SleepPolicy { spin_rounds: 3, yield_rounds: 7, sleep_timeout_us: 500 });
+        let parsed: SchedPolicy = policy.to_string().parse().unwrap();
+        assert_eq!(parsed, policy);
+    }
+
+    #[test]
+    fn preset_names_parse() {
+        assert_eq!("vanilla".parse::<SchedPolicy>().unwrap(), SchedPolicy::vanilla());
+        assert_eq!("numa-ws".parse::<SchedPolicy>().unwrap(), SchedPolicy::numa_ws());
+        assert_eq!("bias-only".parse::<SchedPolicy>().unwrap(), SchedPolicy::bias_only());
+        assert_eq!("mailbox-only".parse::<SchedPolicy>().unwrap(), SchedPolicy::mailbox_only());
+        assert!("no-such".parse::<SchedPolicy>().is_err());
+        assert!("bias=sideways".parse::<SchedPolicy>().is_err());
+        assert!("".parse::<SchedPolicy>().is_err(), "empty must not become a preset");
+        assert!("  \n".parse::<SchedPolicy>().is_err());
+    }
+
+    #[test]
+    fn victim_distribution_follows_bias() {
+        let topo = presets::paper_machine();
+        let map = Placement::Packed.assign(&topo, 32).unwrap();
+        let uniform = SchedPolicy::vanilla().victim_distribution(&topo, &map, 0).unwrap();
+        let biased = SchedPolicy::numa_ws().victim_distribution(&topo, &map, 0).unwrap();
+        assert_eq!(uniform, StealDistribution::uniform(32, 0));
+        assert_eq!(biased, StealDistribution::biased(&topo, &map, 0));
+        assert_ne!(uniform, biased);
+    }
+
+    #[test]
+    fn lone_worker_has_no_distribution() {
+        let topo = presets::paper_machine();
+        let map = Placement::Packed.assign(&topo, 1).unwrap();
+        assert!(SchedPolicy::numa_ws().victim_distribution(&topo, &map, 0).is_none());
+    }
+
+    #[test]
+    fn splitmix_stateless_and_stateful_agree() {
+        let mut rng = SplitMix64::new(0x5EED);
+        let mut state = 0x5EEDu64;
+        for _ in 0..32 {
+            let (next, out) = SplitMix64::step(state);
+            state = next;
+            assert_eq!(rng.next_u64(), out);
+        }
+    }
+
+    #[test]
+    fn worker_rng_seed_separates_workers() {
+        let seeds: Vec<u64> = (0..32).map(|w| worker_rng_seed(0x5EED, w)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in seeds.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(seeds[0], 0x5EED, "worker 0 keeps the run seed");
+    }
+}

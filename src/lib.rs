@@ -13,8 +13,9 @@
 //! - [`sim`] — a discrete-event NUMA machine simulator that executes the
 //!   paper's Figure 2 (classic) and Figure 5 (NUMA-WS) scheduler pseudocode
 //!   over task DAGs with a cache/DRAM placement model ([`nws_sim`]).
-//! - [`topology`] — socket/core/place descriptions and distance matrices
-//!   ([`nws_topology`]).
+//! - [`topology`] — socket/core/place descriptions, distance matrices,
+//!   and the shared scheduling-policy layer (`SchedPolicy`) that both the
+//!   runtime and the simulator consume ([`nws_topology`]).
 //! - [`layout`] — Z-Morton and blocked Z-Morton matrix layouts
 //!   ([`nws_layout`]).
 //! - [`apps`] — the seven paper benchmarks ([`nws_apps`]).

@@ -27,7 +27,7 @@ fn greedy_bound_holds_for_both_schedulers() {
     let span = dag.span() as f64;
     for p in [2usize, 8, 16, 32] {
         for cfg in [SimConfig::classic(p), SimConfig::numa_ws(p)] {
-            let name = format!("{:?}", cfg.scheduler);
+            let name = format!("{:?}", cfg.kind());
             let r = Simulation::new(&topo, cfg, &dag).unwrap().run();
             // The engine adds ~11 cycles/spawn of work-path overhead and
             // steal-path costs on the span; generous constants keep the

@@ -1,0 +1,216 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the benchmark suite uses —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`] —
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery. Each benchmark runs until either `sample_size`
+//! samples are collected or `measurement_time` elapses, then reports
+//! min/mean/max per iteration on stdout. Good enough to compare series on
+//! one machine; not a substitute for criterion's outlier analysis.
+
+use std::time::{Duration, Instant};
+
+/// Entry point configuring how benchmarks are measured.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+
+    /// Measures a single free-standing benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A group of benchmarks reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures one benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.criterion.sample_size, self.criterion.measurement_time, f);
+        self
+    }
+
+    /// Finishes the group (reporting happens eagerly, so this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, budget: Duration, mut f: F) {
+    let mut b = Bencher { sample_size, budget, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:50} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().copied().fold(0.0f64, f64::max);
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    println!(
+        "{id:50} time: [{} {} {}]  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        b.samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Passed to the benchmark closure; drives the measurement loop.
+pub struct Bencher {
+    sample_size: usize,
+    budget: Duration,
+    samples: Vec<f64>,
+}
+
+/// How much setup output to batch per measured invocation (API-compat
+/// mirror of criterion's enum; this harness measures one input at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// Exactly one input per measured iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup iteration to populate caches and lazy statics.
+        std::hint::black_box(routine());
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Measures `routine` over inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Mirror of criterion's `black_box` (std's version is stable now, but the
+/// re-export keeps `criterion::black_box` imports working).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, in either the simple or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_samples() {
+        let mut c = Criterion::default().sample_size(5).measurement_time(Duration::from_secs(1));
+        let mut g = c.benchmark_group("t");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}
