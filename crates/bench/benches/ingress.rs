@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use numa_ws::{Place, Pool};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use nws_sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 fn bench_install_roundtrip(c: &mut Criterion) {
@@ -50,7 +50,7 @@ fn bench_spawn_burst(c: &mut Criterion) {
                 });
             }
             while done.load(Ordering::Acquire) < BURST {
-                std::hint::spin_loop();
+                nws_sync::hint::spin_loop();
             }
         })
     });

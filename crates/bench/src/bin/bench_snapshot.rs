@@ -188,7 +188,7 @@ fn main() {
     // drain at scope exit) on one worker, no steals possible — the scope
     // analogue of spawn_join_fib.
     {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use nws_sync::atomic::{AtomicU64, Ordering};
         let (samples, n) = if quick { (5, 512u64) } else { (31, 4096u64) };
         let pool = Pool::builder().workers(1).stats(false).build().unwrap();
         let median = sample_median(samples, n, || {

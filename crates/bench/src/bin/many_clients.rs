@@ -7,7 +7,7 @@
 //! Run: `cargo run --release -p nws_bench --bin many_clients`
 
 use numa_ws::{join, Place, Pool, SchedulerMode};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use nws_sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -53,7 +53,7 @@ fn run(workers: usize, places: usize, clients: usize, requests: usize) -> (f64, 
         }
     });
     while acks.load(Ordering::Relaxed) < clients * requests {
-        std::thread::yield_now();
+        nws_sync::thread::yield_now();
     }
     let elapsed = start.elapsed();
     let stats = pool.stats();

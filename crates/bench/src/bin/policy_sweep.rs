@@ -105,7 +105,7 @@ fn run_real(policy: SchedPolicy, quick: bool) -> RealCell {
             .install_at(Place(r % places), || std::hint::black_box(hinted_tree(depth, 0, places)));
         assert!(total != 0);
     }
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use nws_sync::atomic::{AtomicU64, Ordering};
     let acc = AtomicU64::new(0);
     pool.scope(|s| {
         for i in 0..scope_tasks {

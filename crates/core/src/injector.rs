@@ -12,9 +12,9 @@
 //! DESIGN.md §2 has the full protocol story.
 
 use crate::job::JobRef;
-use parking_lot::Mutex;
+use nws_sync::atomic::{AtomicUsize, Ordering};
+use nws_sync::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One place's ingress queue: a mutex-guarded FIFO plus a length hint that
 /// lets the (hot) empty check skip the lock.
@@ -70,8 +70,8 @@ impl IngressQueue {
 mod tests {
     use super::*;
     use crate::job::Job;
+    use nws_sync::atomic::AtomicUsize;
     use nws_topology::Place;
-    use std::sync::atomic::AtomicUsize;
 
     struct CountJob(AtomicUsize);
     impl Job for CountJob {

@@ -275,7 +275,7 @@ mod tests {
 
     #[test]
     fn heap_job_runs_and_frees_itself() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use nws_sync::atomic::{AtomicBool, Ordering};
         use std::sync::Arc;
         let ran = Arc::new(AtomicBool::new(false));
         let ran2 = Arc::clone(&ran);

@@ -1,8 +1,8 @@
 //! Completion latches used to join spawned work.
 
 use crate::sleep::Sleep;
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use nws_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use nws_sync::{Condvar, Mutex};
 
 /// A one-shot latch: starts unset, becomes set exactly once.
 pub(crate) trait Latch {
@@ -184,7 +184,7 @@ mod tests {
             }
         });
         while sleep.num_sleepers() == 0 {
-            std::thread::yield_now();
+            nws_sync::thread::yield_now();
         }
         stop.store(true, Ordering::SeqCst);
         let l = SpinLatch::new(&sleep);

@@ -83,6 +83,8 @@ mod job;
 mod join;
 mod latch;
 mod mailbox;
+#[cfg(all(test, nws_model))]
+mod model_tests;
 mod par_for;
 mod pool;
 mod registry;
@@ -101,3 +103,7 @@ pub use stats::{PoolStats, WorkerStatsSnapshot};
 // are part of this crate's public API surface ([`PoolBuilder::policy`]
 // consumes a [`SchedPolicy`]).
 pub use nws_topology::{CoinFlip, Place, SchedPolicy, SleepPolicy, StealBias};
+
+/// The synchronization facade the runtime is built on, re-exported so
+/// downstream code (and the doc examples) can name one canonical path.
+pub use nws_sync as sync;

@@ -35,9 +35,9 @@
 //! around them.
 
 use crate::job::JobRef;
+use nws_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use nws_topology::Place;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 /// Encoding of the out-of-band place-hint word: `0` = no deposit observed
 /// (or hint not yet published), `1` = [`Place::ANY`], `i + 2` = `Place(i)`.
@@ -200,7 +200,6 @@ mod tests {
     use super::*;
     use crate::job::{HeapJob, Job, JobRef};
     use nws_topology::Place;
-    use std::sync::atomic::AtomicUsize;
 
     struct CountJob(AtomicUsize);
     impl Job for CountJob {
@@ -308,7 +307,7 @@ mod tests {
     /// crashed or tripped ASAN with the dereferencing implementation.
     #[test]
     fn peek_take_hammer_yields_only_valid_places() {
-        use std::sync::atomic::AtomicBool;
+        use nws_sync::atomic::AtomicBool;
         const ROUNDS: usize = 2_000;
         let j = CountJob(AtomicUsize::new(0));
         let m = Mailbox::new(1);
@@ -344,7 +343,7 @@ mod tests {
             }
             // Wait for the taker to drain the last deposit, then stop.
             while taken.load(Ordering::SeqCst) < ROUNDS {
-                std::hint::spin_loop();
+                nws_sync::hint::spin_loop();
             }
             stop.store(true, Ordering::SeqCst);
         });
@@ -379,7 +378,7 @@ mod tests {
         // Same, with the representation that actually strands: a
         // fire-and-forget heap job owns its closure, so executing at drop
         // both runs the work and reclaims the allocation (miri-clean).
-        use std::sync::atomic::AtomicBool;
+        use nws_sync::atomic::AtomicBool;
         use std::sync::Arc;
         let ran = Arc::new(AtomicBool::new(false));
         let ran2 = Arc::clone(&ran);

@@ -1,0 +1,213 @@
+//! Checked-interleaving tests for the runtime's lock-free protocol pieces,
+//! compiled only under `--cfg nws_model` (the `nws_sync` model-checking
+//! backend). Each test explores every schedule (bounded preemptions) *and*
+//! every weak-memory outcome the facade's orderings admit, so these are
+//! proofs over the model where the sibling unit tests are samples.
+//!
+//! The regression tests for the two PR 4 bugs live here in their natural
+//! habitat: the mailbox `peek_place` use-after-free (fixed by mirroring
+//! the place hint into its own atomic word) and the shutdown path
+//! stranding a lazily-pushed heap job (fixed by executing leftovers in
+//! `Mailbox::drop`).
+
+use crate::job::{HeapJob, JobRef};
+use crate::latch::{CountLatch, Latch, Probe, SpinLatch};
+use crate::mailbox::Mailbox;
+use crate::sleep::{Sleep, SleepOutcome};
+use nws_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use nws_sync::model::Builder;
+use nws_sync::thread;
+use nws_topology::Place;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A heap job that bumps `hits` when executed. Heap jobs own their
+/// closure, so the `JobRef` is `'static` and can cross model threads.
+fn counting_job(hits: &Arc<AtomicUsize>, place: Place) -> JobRef {
+    let hits = Arc::clone(hits);
+    let job = HeapJob::new(move || {
+        hits.fetch_add(1, Ordering::SeqCst);
+    });
+    // SAFETY: every test below executes or drop-drains the ref exactly once.
+    unsafe { job.into_job_ref(place) }
+}
+
+/// Two concurrent `take`s race for a single deposit: the slot swap must
+/// hand the job to exactly one of them on every schedule.
+#[test]
+fn mailbox_concurrent_takers_get_exactly_one() {
+    Builder::exhaustive(2, 200_000).run(|| {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let m = Arc::new(Mailbox::new(1));
+        m.try_deposit(counting_job(&hits, Place(0))).ok().expect("deposit into empty mailbox");
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || m2.take());
+        let mine = m.take();
+        let theirs = t.join().unwrap();
+        assert!(
+            mine.is_some() ^ theirs.is_some(),
+            "exactly one taker must win: ({}, {})",
+            mine.is_some(),
+            theirs.is_some()
+        );
+        for job in [mine, theirs].into_iter().flatten() {
+            // SAFETY: taken refs are live and unexecuted; run to reclaim.
+            unsafe { job.execute() }
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    });
+}
+
+/// Depositor vs. taker on a full mailbox: on every schedule the second
+/// deposit either bounces (slot still occupied) or lands (taker emptied
+/// it first), and the total executed job count is exact either way.
+#[test]
+fn mailbox_deposit_take_interleaving_is_exact() {
+    Builder::exhaustive(2, 200_000).run(|| {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let m = Arc::new(Mailbox::new(1));
+        m.try_deposit(counting_job(&hits, Place(0))).ok().expect("first deposit");
+        let (m2, h2) = (Arc::clone(&m), Arc::clone(&hits));
+        let t = thread::spawn(move || match m2.try_deposit(counting_job(&h2, Place(1))) {
+            Ok(()) => true,
+            Err(job) => {
+                // SAFETY: a bounced ref is handed back unexecuted; run it
+                // here to reclaim (stands in for PUSHBACK retrying elsewhere).
+                unsafe { job.execute() }
+                false
+            }
+        });
+        if let Some(job) = m.take() {
+            // SAFETY: taken ref is live and unexecuted.
+            unsafe { job.execute() }
+        }
+        let _landed = t.join().unwrap();
+        drop(Arc::try_unwrap(m).expect("all clones joined")); // drop-drain runs any leftover
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "every deposited job runs exactly once");
+    });
+}
+
+/// PR 4 regression (use-after-free): `peek_place` races a `take`. The old
+/// probe dereferenced the slot's box, which the concurrent `take` may
+/// already have freed; the fix mirrors the hint into its own atomic word.
+/// Under the model every explored outcome must be a well-formed value the
+/// protocol can legally produce — `None` or the deposited place — and the
+/// probe performs no tracked access to the job box at all (a racing read
+/// of freed cell memory would be reported as a data race).
+#[test]
+fn mailbox_peek_never_reads_the_job_box() {
+    Builder::exhaustive(2, 200_000).run(|| {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let m = Arc::new(Mailbox::new(1));
+        m.try_deposit(counting_job(&hits, Place(3))).ok().expect("deposit");
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || m2.peek_place());
+        let taken = m.take();
+        let peeked = t.join().unwrap();
+        assert!(
+            matches!(peeked, None | Some(Place(3))),
+            "peek produced an impossible place: {peeked:?}"
+        );
+        // SAFETY: the deposit is live and unexecuted; exactly one take saw it.
+        unsafe { taken.expect("no competing taker").execute() }
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    });
+}
+
+/// PR 4 regression (shutdown stranding): a deposit racing the final
+/// shutdown drain must still run exactly once — either the drain takes
+/// it, or `Mailbox::drop` (the final safety net) executes the leftover.
+#[test]
+fn mailbox_drop_never_strands_a_racing_deposit() {
+    Builder::exhaustive(2, 200_000).run(|| {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let m = Arc::new(Mailbox::new(1));
+        let (m2, h2) = (Arc::clone(&m), Arc::clone(&hits));
+        let t = thread::spawn(move || {
+            if let Err(job) = m2.try_deposit(counting_job(&h2, Place(0))) {
+                // SAFETY: bounced refs come back unexecuted.
+                unsafe { job.execute() }
+            }
+        });
+        // The shutdown drain (as `worker_main` performs after its loop).
+        if let Some(job) = m.take() {
+            // SAFETY: taken ref is live and unexecuted.
+            unsafe { job.execute() }
+        }
+        t.join().unwrap();
+        // Registry teardown: Mailbox::drop must execute — not leak — any
+        // deposit that landed after the drain.
+        drop(Arc::try_unwrap(m).expect("all clones joined"));
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "lazily pushed job stranded or run twice");
+    });
+}
+
+/// Three concurrent terminal candidates on a `CountLatch`: exactly one
+/// decrement may observe 1 → 0 (it alone may touch owner memory next),
+/// and the probe must read zero afterwards.
+#[test]
+fn count_latch_exactly_one_terminal_decrement() {
+    Builder::exhaustive(2, 200_000).run(|| {
+        let l = Arc::new(CountLatch::new());
+        l.increment();
+        l.increment();
+        let (l2, l3) = (Arc::clone(&l), Arc::clone(&l));
+        let t1 = thread::spawn(move || l2.set_one());
+        let t2 = thread::spawn(move || l3.set_one());
+        let mine = l.set_one();
+        let terminals =
+            usize::from(mine) + usize::from(t1.join().unwrap()) + usize::from(t2.join().unwrap());
+        assert_eq!(terminals, 1, "exactly one decrement observes 1 -> 0");
+        assert!(l.probe());
+    });
+}
+
+/// A joiner deep-sleeping on the pool condvar while a thief sets its
+/// `SpinLatch`: on every schedule the joiner terminates with the latch
+/// observed set. (A `TimedOut` sleep is legal here — the set-side sleeper
+/// probe is deliberately `Relaxed`, and the timeout bounds the stale-read
+/// window — so the property is termination + visibility, not wake-path.)
+#[test]
+fn spin_latch_set_always_releases_the_joiner() {
+    Builder::exhaustive(2, 200_000).run(|| {
+        let sleep: &'static Sleep = Box::leak(Box::new(Sleep::new()));
+        let latch: Arc<SpinLatch<'static>> = Arc::new(SpinLatch::new(sleep));
+        let l2 = Arc::clone(&latch);
+        let setter = thread::spawn(move || l2.set());
+        while !latch.probe() {
+            sleep.sleep(Duration::from_secs(1), || latch.probe());
+        }
+        setter.join().unwrap();
+        assert!(latch.probe());
+    });
+}
+
+/// The sleep layer's own lost-wakeup litmus, with the strict SeqCst
+/// announce/publish handshake: when the producer publishes work and then
+/// calls `wake_one`, no explored schedule may end a sleep in `TimedOut` —
+/// either the pre-wait re-check sees the published work, or the notify
+/// lands. This is exactly the store-buffer pattern the `fence(SeqCst)`
+/// pair in `sleep`/`wake_one` exists to forbid.
+#[test]
+fn sleep_wake_one_is_never_lost() {
+    Builder::exhaustive(2, 200_000).run(|| {
+        let s = Arc::new(Sleep::new());
+        let work = Arc::new(AtomicBool::new(false));
+        let (s2, w2) = (Arc::clone(&s), Arc::clone(&work));
+        let t = thread::spawn(move || {
+            let mut outcomes = Vec::new();
+            while !w2.load(Ordering::SeqCst) {
+                outcomes.push(s2.sleep(Duration::from_secs(1), || w2.load(Ordering::SeqCst)));
+            }
+            outcomes
+        });
+        work.store(true, Ordering::SeqCst); // publish first…
+        s.wake_one(); // …then wake
+        let outcomes = t.join().unwrap();
+        assert!(
+            !outcomes.contains(&SleepOutcome::TimedOut),
+            "a wake was lost despite the SeqCst handshake: {outcomes:?}"
+        );
+        assert_eq!(s.num_sleepers(), 0);
+    });
+}

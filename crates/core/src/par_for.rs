@@ -25,7 +25,7 @@ use std::ops::Range;
 /// # Example
 ///
 /// ```
-/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use numa_ws::sync::atomic::{AtomicU64, Ordering};
 ///
 /// let pool = numa_ws::Pool::new(4).expect("pool");
 /// let sum = AtomicU64::new(0);
@@ -123,7 +123,7 @@ where
 mod tests {
     use super::*;
     use crate::Pool;
-    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use nws_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn covers_every_index_exactly_once() {

@@ -290,7 +290,7 @@ impl Pool {
     /// # Example
     ///
     /// ```
-    /// use std::sync::atomic::{AtomicU32, Ordering};
+    /// use numa_ws::sync::atomic::{AtomicU32, Ordering};
     /// use std::sync::Arc;
     ///
     /// let pool = numa_ws::Pool::new(2).expect("pool");
@@ -334,7 +334,7 @@ impl Pool {
     /// `pool.install(|| numa_ws::scope(f))`; see [`scope`](crate::scope).
     ///
     /// ```
-    /// use std::sync::atomic::{AtomicU32, Ordering};
+    /// use numa_ws::sync::atomic::{AtomicU32, Ordering};
     ///
     /// let pool = numa_ws::Pool::new(2).expect("pool");
     /// let hits = AtomicU32::new(0);

@@ -9,13 +9,13 @@ use crate::mailbox::Mailbox;
 use crate::sleep::{Sleep, SleepOutcome};
 use crate::stats::{bump, Category, Clock, LocalCounters, PoolStats, WorkerStats};
 use nws_deque::{the_deque, Full, TheStealer, TheWorker};
+use nws_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use nws_sync::{Condvar, Mutex};
 use nws_topology::{
     worker_rng_seed, CoinFlip, Place, SchedPolicy, SplitMix64, StealDistribution, Topology,
     WorkerMap,
 };
-use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -376,9 +376,9 @@ impl WorkerThread {
         let sp = &self.registry.policy.sleep;
         *spins += 1;
         if *spins < sp.spin_rounds {
-            std::hint::spin_loop();
+            nws_sync::hint::spin_loop();
         } else if *spins < sp.yield_rounds {
-            std::thread::yield_now();
+            nws_sync::thread::yield_now();
         } else if self.registry.sleep.sleep(self.registry.sleep_timeout, recheck)
             == SleepOutcome::Notified
         {
@@ -471,10 +471,7 @@ impl WorkerThread {
         bump!(self.local, steals);
         // The only cross-worker counter write; it lands in the victim's
         // thief-block cacheline, never on its owner-counter lines.
-        self.registry.worker_stats[victim]
-            .thief
-            .stolen_from
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.registry.worker_stats[victim].thief.stolen_from.fetch_add(1, Ordering::Relaxed);
         if self.registry.map.socket_of(victim) != self.registry.map.socket_of(self.index) {
             bump!(self.local, remote_steals);
         }

@@ -44,12 +44,12 @@
 use crate::latch::CountLatch;
 use crate::registry::{Registry, WorkerThread};
 use crate::sleep::Sleep;
+use nws_sync::atomic::{AtomicPtr, Ordering};
 use nws_topology::Place;
 use std::any::Any;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
 /// A structured-concurrency scope: spawn dynamic task sets that may borrow
@@ -326,7 +326,7 @@ unsafe impl<'scope, F> Send for ScopeJob<'scope, F> where F: FnOnce(&Scope<'scop
 mod tests {
     use super::*;
     use crate::Pool;
-    use std::sync::atomic::AtomicUsize;
+    use nws_sync::atomic::AtomicUsize;
 
     #[test]
     fn empty_scope_returns_value() {

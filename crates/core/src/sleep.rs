@@ -26,8 +26,8 @@
 //! timeout as a belt-and-braces net — a missed wake-up costs one timeout
 //! period, never a hang — and shutdown broadcasts to everyone.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use nws_sync::atomic::{fence, AtomicUsize, Ordering};
+use nws_sync::{Condvar, Mutex};
 use std::time::Duration;
 
 // How long a sleeper waits before re-checking on its own is a *policy*
@@ -123,7 +123,7 @@ impl Sleep {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use nws_sync::atomic::AtomicBool;
     use std::sync::Arc;
     use std::time::Instant;
 
@@ -162,7 +162,7 @@ mod tests {
             start.elapsed()
         });
         while s.num_sleepers() == 0 {
-            std::thread::yield_now();
+            nws_sync::thread::yield_now();
         }
         work.store(true, Ordering::SeqCst); // publish, then wake
         s.wake_one();
@@ -199,7 +199,7 @@ mod tests {
             }));
         }
         while s.num_sleepers() < 4 {
-            std::thread::yield_now();
+            nws_sync::thread::yield_now();
         }
         stop.store(true, Ordering::SeqCst);
         s.wake_all();

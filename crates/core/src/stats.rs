@@ -30,8 +30,8 @@
 //!   [`ThiefStats`] block, so a steal dirties neither the victim's
 //!   owner-counter line nor a neighbouring worker's stats.
 
+use nws_sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
 /// What a worker is spending its time on.

@@ -3,7 +3,7 @@
 //! cross-pool install hazard, and the new ingress/wake counters.
 
 use numa_ws::{join, Place, Pool};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use nws_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -20,7 +20,7 @@ fn wait_for(cond: impl Fn() -> bool, what: &str) {
     let start = Instant::now();
     while !cond() {
         assert!(start.elapsed() < Duration::from_secs(20), "timed out waiting for {what}");
-        std::thread::yield_now();
+        nws_sync::thread::yield_now();
     }
 }
 
@@ -43,7 +43,7 @@ fn install_completes_while_long_root_runs() {
         pool2.install(move || {
             running2.store(true, Ordering::SeqCst);
             while !release2.load(Ordering::SeqCst) {
-                std::hint::spin_loop();
+                nws_sync::hint::spin_loop();
             }
             7
         })
@@ -92,7 +92,7 @@ fn spawn_completes_while_long_root_runs() {
         pool2.install(move || {
             running2.store(true, Ordering::SeqCst);
             while !release2.load(Ordering::SeqCst) {
-                std::hint::spin_loop();
+                nws_sync::hint::spin_loop();
             }
         })
     });
@@ -248,7 +248,7 @@ fn cross_pool_install_both_pools_progress() {
             parked2.store(true, Ordering::SeqCst);
             b2.install(move || {
                 while !rel2.load(Ordering::SeqCst) {
-                    std::hint::spin_loop();
+                    nws_sync::hint::spin_loop();
                 }
                 5
             })

@@ -3,8 +3,8 @@
 //! mode and any hint assignment.
 
 use numa_ws::{join_at, par_for, Place, Pool, SchedulerMode};
+use nws_sync::atomic::{AtomicU64, Ordering};
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A random expression tree with place hints on the stealable branches.
 #[derive(Debug, Clone)]

@@ -2,7 +2,7 @@
 //! parallelism, hint routing, panic propagation, and statistics.
 
 use numa_ws::{join, join4_at, join_at, Place, Pool, SchedulerMode};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use nws_sync::atomic::{AtomicUsize, Ordering};
 
 fn fib(n: u64) -> u64 {
     if n < 2 {

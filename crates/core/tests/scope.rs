@@ -3,7 +3,7 @@
 //! hints — the contract surface of `scope` / `scope_at`.
 
 use numa_ws::{scope, scope_at, Place, Pool, SchedulerMode, Scope};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use nws_sync::atomic::{AtomicUsize, Ordering};
 
 #[test]
 fn spawned_tasks_borrow_and_mutate_the_stack() {

@@ -1,7 +1,7 @@
 //! A fully-locked deque used as the "what if we ignored the work-first
 //! principle" baseline in benchmarks.
 
-use parking_lot::Mutex;
+use nws_sync::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -98,7 +98,7 @@ mod tests {
     fn concurrent_hammering_preserves_items() {
         let d = MutexDeque::new();
         const N: usize = 10_000;
-        let taken = std::sync::atomic::AtomicUsize::new(0);
+        let taken = nws_sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let producer = d.clone();
             scope.spawn(move || {
@@ -111,16 +111,16 @@ mod tests {
                 let taken = &taken;
                 scope.spawn(move || loop {
                     if thief.steal().is_some() {
-                        taken.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        taken.fetch_add(1, nws_sync::atomic::Ordering::Relaxed);
                     }
-                    if taken.load(std::sync::atomic::Ordering::Relaxed) == N {
+                    if taken.load(nws_sync::atomic::Ordering::Relaxed) == N {
                         break;
                     }
-                    std::hint::spin_loop();
+                    nws_sync::hint::spin_loop();
                 });
             }
         });
-        assert_eq!(taken.load(std::sync::atomic::Ordering::Relaxed), N);
+        assert_eq!(taken.load(nws_sync::atomic::Ordering::Relaxed), N);
         assert!(d.is_empty());
     }
 }

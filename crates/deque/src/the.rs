@@ -44,15 +44,15 @@
 //! the same thread no longer continue a release sequence); a thief may
 //! commit after reading any of them.
 
-use parking_lot::Mutex;
-use std::cell::UnsafeCell;
-use std::fmt;
-use std::marker::PhantomData;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{
+use nws_sync::atomic::{
     fence, AtomicIsize,
     Ordering::{Acquire, Relaxed, Release, SeqCst},
 };
+use nws_sync::cell::UnsafeCell;
+use nws_sync::Mutex;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
 use std::sync::Arc;
 
 /// Error returned by [`TheWorker::push`] when the deque is at capacity,
@@ -79,6 +79,12 @@ struct Inner<T> {
     /// Ring buffer; slot `i & mask` holds logical index `i`.
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
     mask: usize,
+    /// Model-tier fault injection: weaken the pop/steal handshake fence to
+    /// `AcqRel` so the checked-interleaving tests can prove the checker
+    /// catches the resulting store-buffering double-take. Never set outside
+    /// `the_deque_weak_fence_for_model`.
+    #[cfg(nws_model)]
+    weak_fence: bool,
 }
 
 // SAFETY: slots are transferred between threads with the protocol above;
@@ -94,7 +100,10 @@ impl<T> Inner<T> {
     /// The caller must hold exclusive claim over index `i` per the protocol.
     unsafe fn take(&self, i: isize) -> T {
         let slot = &self.buf[(i as usize) & self.mask];
-        (*slot.get()).assume_init_read()
+        // SAFETY: forwarded from the caller (exclusive claim over `i`); the
+        // move-out is a read of the slot memory, so the model backend
+        // tracks it as a read against later reusing writes.
+        unsafe { slot.with(|p| (*p).assume_init_read()) }
     }
 
     /// Writes `v` into logical index `i`.
@@ -104,7 +113,20 @@ impl<T> Inner<T> {
     /// Index `i` must be vacant and owned by the caller.
     unsafe fn put(&self, i: isize, v: T) {
         let slot = &self.buf[(i as usize) & self.mask];
-        (*slot.get()).write(v);
+        // SAFETY: forwarded from the caller (index vacant and owned).
+        unsafe { slot.with_mut(|p| (*p).write(v)) };
+    }
+
+    /// The pop/steal claim-before-read fence. Always `SeqCst` in real
+    /// builds; the model tier can weaken it to prove the checker notices.
+    #[inline]
+    fn handshake_fence(&self) {
+        #[cfg(nws_model)]
+        if self.weak_fence {
+            fence(nws_sync::atomic::Ordering::AcqRel);
+            return;
+        }
+        fence(SeqCst);
     }
 }
 
@@ -163,6 +185,30 @@ impl<T> fmt::Debug for TheStealer<T> {
 ///
 /// Panics if `capacity == 0`.
 pub fn the_deque<T>(capacity: usize) -> (TheWorker<T>, TheStealer<T>) {
+    new_deque(
+        capacity,
+        #[cfg(nws_model)]
+        false,
+    )
+}
+
+/// Deliberately broken deque for the checked-interleaving tier: identical
+/// to [`the_deque`] except the pop/steal handshake fence is weakened from
+/// `SeqCst` to `AcqRel`. The model checker must find the resulting
+/// double-take of the last item; see `tests/model.rs`.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+#[cfg(nws_model)]
+pub fn the_deque_weak_fence_for_model<T>(capacity: usize) -> (TheWorker<T>, TheStealer<T>) {
+    new_deque(capacity, true)
+}
+
+fn new_deque<T>(
+    capacity: usize,
+    #[cfg(nws_model)] weak_fence: bool,
+) -> (TheWorker<T>, TheStealer<T>) {
     assert!(capacity > 0, "deque capacity must be positive");
     let cap = capacity.next_power_of_two();
     let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
@@ -173,6 +219,8 @@ pub fn the_deque<T>(capacity: usize) -> (TheWorker<T>, TheStealer<T>) {
         lock: Mutex::new(()),
         buf,
         mask: cap - 1,
+        #[cfg(nws_model)]
+        weak_fence,
     });
     (TheWorker { inner: Arc::clone(&inner), _not_sync: PhantomData }, TheStealer { inner })
 }
@@ -242,7 +290,7 @@ impl<T> TheWorker<T> {
         // The handshake fence: pairs with the thief's fence between its
         // head store and tail read. At least one side sees the other's
         // claim; that side takes the locked path.
-        fence(SeqCst);
+        inner.handshake_fence();
         let h = inner.head.load(Relaxed);
         if h <= t {
             // Fast path: more than one item, or a thief has backed off.
@@ -295,7 +343,7 @@ impl<T> TheStealer<T> {
         // Release pairs with the owner push's Acquire head read (the
         // wrap-around edge); the fence below mirrors the owner pop's.
         inner.head.store(h + 1, Release);
-        fence(SeqCst);
+        inner.handshake_fence();
         // Acquire pairs with the owner's Release tail stores: reading any
         // tail value t makes every slot below t visible, including the one
         // we are about to move out.
@@ -414,9 +462,8 @@ mod tests {
         const ITEMS: u64 = 100_000;
         const THIEVES: usize = 6;
         let (w, s) = the_deque::<u64>(1 << 14);
-        let stolen: Vec<std::sync::Mutex<Vec<u64>>> =
-            (0..THIEVES).map(|_| std::sync::Mutex::new(Vec::new())).collect();
-        let done = std::sync::atomic::AtomicBool::new(false);
+        let stolen: Vec<Mutex<Vec<u64>>> = (0..THIEVES).map(|_| Mutex::new(Vec::new())).collect();
+        let done = nws_sync::atomic::AtomicBool::new(false);
         let mut popped = Vec::new();
         std::thread::scope(|scope| {
             for tid in 0..THIEVES {
@@ -429,14 +476,14 @@ mod tests {
                         if let Some(v) = s.steal() {
                             local.push(v);
                         } else {
-                            std::hint::spin_loop();
+                            nws_sync::hint::spin_loop();
                         }
                     }
                     // Drain whatever is left.
                     while let Some(v) = s.steal() {
                         local.push(v);
                     }
-                    *stolen[tid].lock().unwrap() = local;
+                    *stolen[tid].lock() = local;
                 });
             }
             let mut next = 0u64;
@@ -460,7 +507,7 @@ mod tests {
         });
         let mut all: Vec<u64> = popped;
         for m in &stolen {
-            all.extend(m.lock().unwrap().iter().copied());
+            all.extend(m.lock().iter().copied());
         }
         all.sort_unstable();
         let expected: Vec<u64> = (0..ITEMS).collect();
@@ -504,7 +551,7 @@ mod tests {
         // wrap-around edge the push-side Acquire/Release pairing protects.
         const ITEMS: u64 = 30_000;
         let (w, s) = the_deque::<u64>(2);
-        let done = std::sync::atomic::AtomicBool::new(false);
+        let done = nws_sync::atomic::AtomicBool::new(false);
         let (stolen, mut popped) = std::thread::scope(|scope| {
             let thief = {
                 let s = s.clone();
@@ -517,7 +564,7 @@ mod tests {
                         } else if done.load(SeqCst) {
                             break;
                         } else {
-                            std::hint::spin_loop();
+                            nws_sync::hint::spin_loop();
                         }
                     }
                     local

@@ -1,155 +1,334 @@
-//! Property tests: a THE deque driven sequentially must behave exactly like
-//! a `VecDeque` with push_back / pop_back (owner) / pop_front (thief) —
-//! plus concurrent stress tests asserting the exactly-once guarantee under
-//! the relaxed memory orderings (every pushed item is popped or stolen
-//! exactly once, with multiple thieves racing the owner).
+//! Two test tiers for the THE deque, selected by `--cfg nws_model`:
+//!
+//! - **Checked-interleaving tier** (`nws_model`): the deque runs on the
+//!   `nws_sync` model-checking backend, which explores thread
+//!   interleavings *and* weak-memory outcomes exhaustively (bounded
+//!   preemptions). The tier proves the pop/steal last-item handshake and
+//!   the tiny-ring wrap-around exactly-once property over every explored
+//!   schedule, and — the teeth — proves the checker *finds* the
+//!   double-take when the handshake fence is weakened from `SeqCst` to
+//!   `AcqRel`, both by exhaustive search and from a committed replay seed.
+//! - **Stress tier** (default): proptest sequential-model equivalence
+//!   plus slimmed concurrent ping-pong runs on real hardware. The heavy
+//!   stress counts live in `src/the.rs`'s unit tests; this tier keeps a
+//!   reduced variant so `cargo test` stays fast now that the checked tier
+//!   carries the exhaustive-interleaving burden.
 
-use nws_deque::{the_deque, Full};
-use proptest::prelude::*;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+#[cfg(not(nws_model))]
+mod stress {
+    use nws_deque::{the_deque, Full};
+    use nws_sync::atomic::{AtomicBool, Ordering::SeqCst};
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
 
-#[derive(Debug, Clone)]
-enum Op {
-    Push(u32),
-    Pop,
-    Steal,
-}
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u32),
+        Pop,
+        Steal,
+    }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => any::<u32>().prop_map(Op::Push),
-        2 => Just(Op::Pop),
-        2 => Just(Op::Steal),
-    ]
-}
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => any::<u32>().prop_map(Op::Push),
+            2 => Just(Op::Pop),
+            2 => Just(Op::Steal),
+        ]
+    }
 
-proptest! {
-    #[test]
-    fn sequential_model_equivalence(ops in proptest::collection::vec(op_strategy(), 0..400)) {
-        let (w, s) = the_deque::<u32>(512);
-        let mut model: VecDeque<u32> = VecDeque::new();
-        for op in ops {
-            match op {
-                Op::Push(v) => {
-                    prop_assert!(w.push(v).is_ok());
-                    model.push_back(v);
+    proptest! {
+        #[test]
+        fn sequential_model_equivalence(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+            let (w, s) = the_deque::<u32>(512);
+            let mut model: VecDeque<u32> = VecDeque::new();
+            for op in ops {
+                match op {
+                    Op::Push(v) => {
+                        prop_assert!(w.push(v).is_ok());
+                        model.push_back(v);
+                    }
+                    Op::Pop => prop_assert_eq!(w.pop(), model.pop_back()),
+                    Op::Steal => prop_assert_eq!(s.steal(), model.pop_front()),
                 }
-                Op::Pop => prop_assert_eq!(w.pop(), model.pop_back()),
-                Op::Steal => prop_assert_eq!(s.steal(), model.pop_front()),
+                prop_assert_eq!(w.len(), model.len());
+                prop_assert_eq!(s.is_empty(), model.is_empty());
             }
-            prop_assert_eq!(w.len(), model.len());
-            prop_assert_eq!(s.is_empty(), model.is_empty());
+        }
+
+        #[test]
+        fn push_full_hands_value_back(extra in 0u32..100) {
+            let (w, _s) = the_deque::<u32>(4);
+            for i in 0..4 {
+                prop_assert!(w.push(i).is_ok());
+            }
+            let err = w.push(extra).unwrap_err();
+            prop_assert_eq!(err.0, extra);
+        }
+
+        #[test]
+        fn steal_order_is_push_order(values in proptest::collection::vec(any::<u32>(), 1..64)) {
+            let (w, s) = the_deque::<u32>(64);
+            for &v in &values {
+                w.push(v).unwrap();
+            }
+            let mut stolen = Vec::new();
+            while let Some(v) = s.steal() {
+                stolen.push(v);
+            }
+            prop_assert_eq!(stolen, values);
         }
     }
 
-    #[test]
-    fn push_full_hands_value_back(extra in 0u32..100) {
-        let (w, _s) = the_deque::<u32>(4);
-        for i in 0..4 {
-            prop_assert!(w.push(i).is_ok());
-        }
-        let err = w.push(extra).unwrap_err();
-        prop_assert_eq!(err.0, extra);
-    }
-
-    #[test]
-    fn steal_order_is_push_order(values in proptest::collection::vec(any::<u32>(), 1..64)) {
-        let (w, s) = the_deque::<u32>(64);
-        for &v in &values {
-            w.push(v).unwrap();
-        }
-        let mut stolen = Vec::new();
-        while let Some(v) = s.steal() {
-            stolen.push(v);
-        }
-        prop_assert_eq!(stolen, values);
-    }
-}
-
-/// Drives one owner against `thieves` concurrent thieves for `items`
-/// uniquely numbered items, with the owner alternating between push bursts
-/// and pop bursts (the ping-pong keeps the deque near-empty so the
-/// last-item arbitration and thief back-off paths fire constantly, not
-/// just the steady-state bulk paths). Returns all items each side got.
-fn ping_pong(items: u64, thieves: usize, capacity: usize, burst: u64) -> Vec<u64> {
-    let (w, s) = the_deque::<u64>(capacity);
-    let done = AtomicBool::new(false);
-    let mut harvested: Vec<u64> = Vec::with_capacity(items as usize);
-    let stolen: Vec<Vec<u64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..thieves)
-            .map(|_| {
-                let s = s.clone();
-                let done = &done;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        if let Some(v) = s.steal() {
-                            local.push(v);
-                        } else if done.load(SeqCst) {
-                            break;
-                        } else {
-                            std::hint::spin_loop();
+    /// Drives one owner against `thieves` concurrent thieves for `items`
+    /// uniquely numbered items, with the owner alternating between push
+    /// bursts and pop bursts (the ping-pong keeps the deque near-empty so
+    /// the last-item arbitration and thief back-off paths fire constantly,
+    /// not just the steady-state bulk paths). Returns all items each side
+    /// got.
+    fn ping_pong(items: u64, thieves: usize, capacity: usize, burst: u64) -> Vec<u64> {
+        let (w, s) = the_deque::<u64>(capacity);
+        let done = AtomicBool::new(false);
+        let mut harvested: Vec<u64> = Vec::with_capacity(items as usize);
+        let stolen: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..thieves)
+                .map(|_| {
+                    let s = s.clone();
+                    let done = &done;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            if let Some(v) = s.steal() {
+                                local.push(v);
+                            } else if done.load(SeqCst) {
+                                break;
+                            } else {
+                                nws_sync::hint::spin_loop();
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut next = 0u64;
+            while next < items {
+                // Push burst…
+                let target = (next + burst).min(items);
+                while next < target {
+                    match w.push(next) {
+                        Ok(()) => next += 1,
+                        Err(Full(_)) => {
+                            if let Some(v) = w.pop() {
+                                harvested.push(v);
+                            }
                         }
                     }
-                    local
-                })
-            })
-            .collect();
-        let mut next = 0u64;
-        while next < items {
-            // Push burst…
-            let target = (next + burst).min(items);
-            while next < target {
+                }
+                // …then pop burst (ping-pong): drain roughly half of what
+                // the thieves left us, hammering the pop-claim handshake.
+                for _ in 0..burst / 2 {
+                    if let Some(v) = w.pop() {
+                        harvested.push(v);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                harvested.push(v);
+            }
+            done.store(true, SeqCst);
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for mut v in stolen {
+            harvested.append(&mut v);
+        }
+        harvested
+    }
+
+    /// Exactly-once under real concurrency: every pushed item comes out
+    /// once — no loss (a steal and a pop both giving up on the same item)
+    /// and no duplication (both taking it).
+    #[test]
+    fn multi_thief_ping_pong_exactly_once() {
+        const ITEMS: u64 = 10_000;
+        let mut all = ping_pong(ITEMS, 4, 256, 64);
+        all.sort_unstable();
+        assert_eq!(all.len() as u64, ITEMS, "lost or duplicated items");
+        assert_eq!(all, (0..ITEMS).collect::<Vec<_>>(), "every item exactly once");
+    }
+
+    /// Same property on a tiny ring, where every push reuses a slot a
+    /// thief may still be reading — the wrap-around edge the push-side
+    /// Acquire/Release head pairing protects.
+    #[test]
+    fn multi_thief_ping_pong_tiny_ring() {
+        const ITEMS: u64 = 5_000;
+        let mut all = ping_pong(ITEMS, 3, 4, 8);
+        all.sort_unstable();
+        assert_eq!(all, (0..ITEMS).collect::<Vec<_>>(), "every item exactly once");
+    }
+}
+
+#[cfg(nws_model)]
+mod checked {
+    use nws_deque::{the_deque, the_deque_weak_fence_for_model, Full};
+    use nws_sync::model::{Builder, FailureKind};
+    use nws_sync::thread;
+
+    /// A seed (as reported by `Failure::seed` on a random exploration)
+    /// whose schedule drives the weak-fence deque into the last-item
+    /// double-take. Committed so the regression reproduces deterministically
+    /// on the first schedule of a test run — no search required — and so a
+    /// future fence regression has a known-bad witness to replay against.
+    const WEAK_FENCE_DOUBLE_TAKE_SEED: u64 = 0x910A_2DEC_8902_5CC1;
+
+    /// Owner pops while a thief steals, two items in flight, then the
+    /// owner drains what is left: every explored schedule must hand out
+    /// items {1, 2} exactly once between the three channels.
+    #[test]
+    fn last_item_arbitration_exactly_once() {
+        Builder::exhaustive(2, 200_000).run(|| {
+            let (w, s) = the_deque::<u32>(4);
+            w.push(1).unwrap();
+            w.push(2).unwrap();
+            let t = thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    if let Some(v) = s.steal() {
+                        got.push(v);
+                    }
+                }
+                got
+            });
+            let mut all = Vec::new();
+            for _ in 0..2 {
+                if let Some(v) = w.pop() {
+                    all.push(v);
+                }
+            }
+            all.extend(t.join().unwrap());
+            // A steal may legally return None while an item remains (it
+            // lost the arbitration); the owner's drain must then find it.
+            while let Some(v) = w.pop() {
+                all.push(v);
+            }
+            all.sort_unstable();
+            assert_eq!(all, [1, 2], "lost or duplicated an item");
+        });
+    }
+
+    /// The wrap-around edge on a capacity-2 ring: four items forced
+    /// through two slots while a thief steals concurrently, so pushes
+    /// reuse slots a thief may still be reading. Exactly-once must hold
+    /// on every explored schedule.
+    #[test]
+    fn tiny_ring_wraparound_exactly_once() {
+        Builder::exhaustive(2, 200_000).run(|| {
+            let (w, s) = the_deque::<u64>(2);
+            let t = thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    if let Some(v) = s.steal() {
+                        got.push(v);
+                    }
+                }
+                got
+            });
+            let mut all = Vec::new();
+            let mut next = 0u64;
+            while next < 4 {
                 match w.push(next) {
                     Ok(()) => next += 1,
                     Err(Full(_)) => {
                         if let Some(v) = w.pop() {
-                            harvested.push(v);
+                            all.push(v);
                         }
                     }
                 }
             }
-            // …then pop burst (ping-pong): drain roughly half of what the
-            // thieves left us, hammering the pop-claim handshake.
-            for _ in 0..burst / 2 {
-                if let Some(v) = w.pop() {
-                    harvested.push(v);
-                }
+            while let Some(v) = w.pop() {
+                all.push(v);
             }
-        }
-        while let Some(v) = w.pop() {
-            harvested.push(v);
-        }
-        done.store(true, SeqCst);
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    for mut v in stolen {
-        harvested.append(&mut v);
+            all.extend(t.join().unwrap());
+            all.sort_unstable();
+            assert_eq!(all, [0, 1, 2, 3], "lost or duplicated an item");
+        });
     }
-    harvested
-}
 
-/// The acceptance property for the relaxed orderings: across ≥10k
-/// operations with multiple thieves, every pushed item comes out exactly
-/// once — no loss (a steal and a pop both giving up on the same item) and
-/// no duplication (both taking it).
-#[test]
-fn multi_thief_ping_pong_exactly_once() {
-    const ITEMS: u64 = 30_000; // ≥10k pushes, plus as many pops/steals
-    let mut all = ping_pong(ITEMS, 4, 256, 64);
-    all.sort_unstable();
-    assert_eq!(all.len() as u64, ITEMS, "lost or duplicated items");
-    assert_eq!(all, (0..ITEMS).collect::<Vec<_>>(), "every item exactly once");
-}
+    /// The single-item race at the heart of the THE handshake, as a
+    /// reusable body: returns how many times the one item was handed out.
+    /// With the correct `SeqCst` fence this is always exactly 1; with the
+    /// weakened fence both sides can read the other's stale index and
+    /// both take slot 0.
+    fn last_item_race(weak: bool) -> usize {
+        let (w, s) =
+            if weak { the_deque_weak_fence_for_model::<u32>(2) } else { the_deque::<u32>(2) };
+        w.push(7).unwrap();
+        let t = thread::spawn(move || s.steal());
+        let mine = w.pop();
+        let stolen = t.join().unwrap();
+        let mut count = usize::from(mine.is_some()) + usize::from(stolen.is_some());
+        if count == 0 {
+            // Both sides backed off: the item must still be in the deque.
+            count += usize::from(w.pop().is_some());
+        }
+        count
+    }
 
-/// Same property on a tiny ring, where every push reuses a slot a thief
-/// may still be reading — the wrap-around edge the push-side
-/// Acquire/Release head pairing protects.
-#[test]
-fn multi_thief_ping_pong_tiny_ring() {
-    const ITEMS: u64 = 10_000;
-    let mut all = ping_pong(ITEMS, 3, 4, 8);
-    all.sort_unstable();
-    assert_eq!(all, (0..ITEMS).collect::<Vec<_>>(), "every item exactly once");
+    /// The correctly fenced deque hands out the contested last item
+    /// exactly once on EVERY schedule — and the state space is small
+    /// enough that the exploration is complete, so this is a proof over
+    /// the model, not a sample.
+    #[test]
+    fn seqcst_fence_last_item_exactly_once_complete() {
+        let explored = Builder::exhaustive(2, 200_000)
+            .check(|| {
+                assert_eq!(last_item_race(false), 1, "last item must change hands exactly once");
+            })
+            .expect("the SeqCst handshake must verify clean");
+        assert!(explored.complete, "exploration must be exhaustive, not truncated");
+        assert!(explored.schedules > 1);
+    }
+
+    /// THE ISSUE'S ACCEPTANCE TEST: weaken the pop/steal handshake fence
+    /// to `AcqRel` and the checker must find the double-take — the owner
+    /// reads a stale head on its fast path while the thief reads a stale
+    /// tail past its back-off check, and both take slot 0.
+    #[test]
+    fn weak_fence_double_take_found_exhaustive() {
+        let failure = Builder::exhaustive(2, 200_000)
+            .check(|| {
+                assert_eq!(last_item_race(true), 1, "last item must change hands exactly once");
+            })
+            .expect_err("the AcqRel-fence deque must double-take under some schedule");
+        assert!(
+            matches!(failure.kind, FailureKind::Panic(ref m) if m.contains("exactly once")),
+            "expected the double-take assertion, got: {failure}"
+        );
+    }
+
+    /// The same bug reproduced from the committed seed: one schedule, no
+    /// search. This is the shape a CI bisection or a fence-regression
+    /// triage uses — `Builder::replay(seed)` from the failure report.
+    #[test]
+    fn weak_fence_double_take_replays_from_committed_seed() {
+        let failure = Builder::replay(WEAK_FENCE_DOUBLE_TAKE_SEED)
+            .check(|| {
+                assert_eq!(last_item_race(true), 1, "last item must change hands exactly once");
+            })
+            .expect_err("the committed seed must reproduce the double-take");
+        assert!(
+            matches!(failure.kind, FailureKind::Panic(ref m) if m.contains("exactly once")),
+            "expected the double-take assertion, got: {failure}"
+        );
+        assert_eq!(failure.seed, Some(WEAK_FENCE_DOUBLE_TAKE_SEED));
+    }
+
+    /// And the flip side of the committed seed: the *correct* deque must
+    /// survive that exact schedule (the seed witnesses the fence bug, not
+    /// some unrelated breakage).
+    #[test]
+    fn committed_seed_is_clean_on_the_correct_deque() {
+        Builder::replay(WEAK_FENCE_DOUBLE_TAKE_SEED).run(|| {
+            assert_eq!(last_item_race(false), 1, "last item must change hands exactly once");
+        });
+    }
 }

@@ -1,0 +1,94 @@
+//! `nws_sync` — the runtime's synchronization facade.
+//!
+//! Every synchronization primitive the NUMA-WS runtime uses — atomics,
+//! fences, mutexes, condvars, racy cells, thread spawn/yield — goes through
+//! this crate instead of `std::sync` / `parking_lot` directly. The facade
+//! has two backends selected at compile time:
+//!
+//! - **Passthrough** (the default): `#[repr(transparent)]`-style newtypes
+//!   with `#[inline(always)]` delegation to `std::sync::atomic` and the
+//!   vendored `parking_lot`. After inlining this compiles to exactly the
+//!   code the call sites had before the facade existed; the A/B
+//!   `bench_snapshot` committed with each PR keeps that claim honest.
+//! - **Model checking** (`--cfg nws_model`, usually via
+//!   `RUSTFLAGS="--cfg nws_model"`): every atomic access, lock operation,
+//!   cell access, and yield becomes a *schedule point* of a cooperative
+//!   scheduler that explores thread interleavings — exhaustively with
+//!   bounded preemptions, or pseudo-randomly from a seed — while tracking
+//!   per-location happens-before with vector clocks. The checker reports
+//!   data races, deadlocks, livelocks, and assertion failures together
+//!   with a replayable seed/schedule. See the `model` module (only
+//!   present under the cfg) and DESIGN.md §7.
+//!
+//! The facade is enforced statically: `clippy.toml` disallows
+//! `std::sync::atomic::*`, `std::sync::Mutex`/`Condvar`, and raw
+//! `parking_lot` types everywhere outside this crate and `vendor/`, with a
+//! CI grep as a fallback.
+//!
+//! Under `nws_model`, facade primitives used *outside* a `model::model`
+//! execution (for example by the ordinary unit tests of a crate compiled
+//! with the cfg, or by real worker threads of a `Pool` constructed in such
+//! a test) transparently behave like the passthrough backend, so a single
+//! `--cfg nws_model` test run can host both checked-interleaving tests and
+//! the regular suite.
+
+// The facade crate is the one place allowed to name the raw primitives.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
+#[cfg(not(nws_model))]
+mod passthrough;
+#[cfg(not(nws_model))]
+pub use passthrough::{atomic, cell, hint, thread, Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(nws_model)]
+pub mod model;
+#[cfg(nws_model)]
+mod model_types;
+#[cfg(nws_model)]
+pub use model_types::{atomic, cell, hint, thread, Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+/// Pads and aligns a value to 128 bytes — two cache lines, covering the
+/// adjacent-line prefetcher on x86 — so two `CachePadded` values never
+/// share a cache line (the same trick as `crossbeam_utils::CachePadded`
+/// and `crates/core`'s `WorkerStats` block alignment).
+///
+/// Identical in both backends: padding changes layout, never semantics,
+/// so the model checker has nothing to intercept.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in 128-byte-aligned padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    #[inline(always)]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    #[inline(always)]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}

@@ -1,0 +1,43 @@
+//! Vector clocks: the happens-before lattice the checker tracks per
+//! thread, per atomic store message, per mutex, and per racy cell.
+
+/// Hard cap on threads per model execution. Model tests are small by
+/// design (the point is exhaustive/seeded schedule coverage, not scale);
+/// a fixed-width clock keeps every join/compare allocation-free.
+pub(crate) const MAX_THREADS: usize = 16;
+
+/// A fixed-width vector clock over model-thread ids.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    pub(crate) const ZERO: VClock = VClock([0; MAX_THREADS]);
+
+    /// Sets the component for thread `tid`.
+    #[inline]
+    pub(crate) fn set(&mut self, tid: usize, v: u32) {
+        self.0[tid] = v;
+    }
+
+    /// Joins `other` into `self` (elementwise max) — the "learn everything
+    /// the other side knew" operation of every synchronizes-with edge.
+    #[inline]
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether the event stamped (`tid`, `clk`) is known to (happens
+    /// before or at) this clock.
+    #[inline]
+    pub(crate) fn knows(&self, tid: usize, clk: u32) -> bool {
+        self.0[tid] >= clk
+    }
+}
+
+impl std::fmt::Debug for VClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VClock{:?}", &self.0[..4])
+    }
+}

@@ -4,8 +4,8 @@
 //! "many concurrent clients" scenario that the per-place ingress subsystem
 //! exists for.
 
+use numa_ws::sync::atomic::{AtomicUsize, Ordering};
 use numa_ws_repro::runtime::{join, Place, Pool, SchedulerMode};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -53,7 +53,7 @@ fn one_pool_serves_many_clients_across_places() {
     let deadline = Instant::now() + Duration::from_secs(20);
     while notifications.load(Ordering::SeqCst) < CLIENTS * REQUESTS {
         assert!(Instant::now() < deadline, "fire-and-forget notifications did not all run");
-        std::thread::yield_now();
+        numa_ws::sync::thread::yield_now();
     }
 
     // Conservation: every ingress job (install or spawn) was taken from an
