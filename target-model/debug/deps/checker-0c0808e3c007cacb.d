@@ -1,0 +1,5 @@
+/root/repo/target-model/debug/deps/checker-0c0808e3c007cacb.d: crates/sync/tests/checker.rs
+
+/root/repo/target-model/debug/deps/checker-0c0808e3c007cacb: crates/sync/tests/checker.rs
+
+crates/sync/tests/checker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target-model/debug/deps/facade_smoke-f999f6674a77bd8c.d: crates/sync/tests/facade_smoke.rs
+
+/root/repo/target-model/debug/deps/facade_smoke-f999f6674a77bd8c: crates/sync/tests/facade_smoke.rs
+
+crates/sync/tests/facade_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target-model/debug/deps/ingress-2dff4260284902cf.d: crates/core/tests/ingress.rs
+
+/root/repo/target-model/debug/deps/ingress-2dff4260284902cf: crates/core/tests/ingress.rs
+
+crates/core/tests/ingress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target-model/debug/deps/model-ac4c6933681356db.d: crates/deque/tests/model.rs
+
+/root/repo/target-model/debug/deps/model-ac4c6933681356db: crates/deque/tests/model.rs
+
+crates/deque/tests/model.rs:

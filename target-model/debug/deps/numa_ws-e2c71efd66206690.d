@@ -1,0 +1,18 @@
+/root/repo/target-model/debug/deps/numa_ws-e2c71efd66206690.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/injector.rs crates/core/src/job.rs crates/core/src/join.rs crates/core/src/latch.rs crates/core/src/mailbox.rs crates/core/src/model_tests.rs crates/core/src/par_for.rs crates/core/src/pool.rs crates/core/src/registry.rs crates/core/src/scope.rs crates/core/src/sleep.rs crates/core/src/stats.rs
+
+/root/repo/target-model/debug/deps/numa_ws-e2c71efd66206690: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/injector.rs crates/core/src/job.rs crates/core/src/join.rs crates/core/src/latch.rs crates/core/src/mailbox.rs crates/core/src/model_tests.rs crates/core/src/par_for.rs crates/core/src/pool.rs crates/core/src/registry.rs crates/core/src/scope.rs crates/core/src/sleep.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/injector.rs:
+crates/core/src/job.rs:
+crates/core/src/join.rs:
+crates/core/src/latch.rs:
+crates/core/src/mailbox.rs:
+crates/core/src/model_tests.rs:
+crates/core/src/par_for.rs:
+crates/core/src/pool.rs:
+crates/core/src/registry.rs:
+crates/core/src/scope.rs:
+crates/core/src/sleep.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target-model/debug/deps/nws_deque-6dbf4e5fd3382ae6.d: crates/deque/src/lib.rs crates/deque/src/mutex_deque.rs crates/deque/src/the.rs
+
+/root/repo/target-model/debug/deps/libnws_deque-6dbf4e5fd3382ae6.rlib: crates/deque/src/lib.rs crates/deque/src/mutex_deque.rs crates/deque/src/the.rs
+
+/root/repo/target-model/debug/deps/libnws_deque-6dbf4e5fd3382ae6.rmeta: crates/deque/src/lib.rs crates/deque/src/mutex_deque.rs crates/deque/src/the.rs
+
+crates/deque/src/lib.rs:
+crates/deque/src/mutex_deque.rs:
+crates/deque/src/the.rs:

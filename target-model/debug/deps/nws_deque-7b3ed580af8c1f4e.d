@@ -1,0 +1,7 @@
+/root/repo/target-model/debug/deps/nws_deque-7b3ed580af8c1f4e.d: crates/deque/src/lib.rs crates/deque/src/mutex_deque.rs crates/deque/src/the.rs
+
+/root/repo/target-model/debug/deps/nws_deque-7b3ed580af8c1f4e: crates/deque/src/lib.rs crates/deque/src/mutex_deque.rs crates/deque/src/the.rs
+
+crates/deque/src/lib.rs:
+crates/deque/src/mutex_deque.rs:
+crates/deque/src/the.rs:

@@ -1,0 +1,11 @@
+/root/repo/target-model/debug/deps/nws_sync-d1286b0e987038e6.d: crates/sync/src/lib.rs crates/sync/src/model/mod.rs crates/sync/src/model/clock.rs crates/sync/src/model/exec.rs crates/sync/src/model_types.rs
+
+/root/repo/target-model/debug/deps/libnws_sync-d1286b0e987038e6.rlib: crates/sync/src/lib.rs crates/sync/src/model/mod.rs crates/sync/src/model/clock.rs crates/sync/src/model/exec.rs crates/sync/src/model_types.rs
+
+/root/repo/target-model/debug/deps/libnws_sync-d1286b0e987038e6.rmeta: crates/sync/src/lib.rs crates/sync/src/model/mod.rs crates/sync/src/model/clock.rs crates/sync/src/model/exec.rs crates/sync/src/model_types.rs
+
+crates/sync/src/lib.rs:
+crates/sync/src/model/mod.rs:
+crates/sync/src/model/clock.rs:
+crates/sync/src/model/exec.rs:
+crates/sync/src/model_types.rs:

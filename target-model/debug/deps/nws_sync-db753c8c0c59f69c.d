@@ -1,0 +1,9 @@
+/root/repo/target-model/debug/deps/nws_sync-db753c8c0c59f69c.d: crates/sync/src/lib.rs crates/sync/src/model/mod.rs crates/sync/src/model/clock.rs crates/sync/src/model/exec.rs crates/sync/src/model_types.rs
+
+/root/repo/target-model/debug/deps/nws_sync-db753c8c0c59f69c: crates/sync/src/lib.rs crates/sync/src/model/mod.rs crates/sync/src/model/clock.rs crates/sync/src/model/exec.rs crates/sync/src/model_types.rs
+
+crates/sync/src/lib.rs:
+crates/sync/src/model/mod.rs:
+crates/sync/src/model/clock.rs:
+crates/sync/src/model/exec.rs:
+crates/sync/src/model_types.rs:

@@ -1,0 +1,15 @@
+/root/repo/target-model/debug/deps/nws_topology-74d6efec04909f7a.d: crates/topology/src/lib.rs crates/topology/src/detect.rs crates/topology/src/distance.rs crates/topology/src/ids.rs crates/topology/src/placement.rs crates/topology/src/policy.rs crates/topology/src/presets.rs crates/topology/src/steal.rs crates/topology/src/topology.rs
+
+/root/repo/target-model/debug/deps/libnws_topology-74d6efec04909f7a.rlib: crates/topology/src/lib.rs crates/topology/src/detect.rs crates/topology/src/distance.rs crates/topology/src/ids.rs crates/topology/src/placement.rs crates/topology/src/policy.rs crates/topology/src/presets.rs crates/topology/src/steal.rs crates/topology/src/topology.rs
+
+/root/repo/target-model/debug/deps/libnws_topology-74d6efec04909f7a.rmeta: crates/topology/src/lib.rs crates/topology/src/detect.rs crates/topology/src/distance.rs crates/topology/src/ids.rs crates/topology/src/placement.rs crates/topology/src/policy.rs crates/topology/src/presets.rs crates/topology/src/steal.rs crates/topology/src/topology.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/detect.rs:
+crates/topology/src/distance.rs:
+crates/topology/src/ids.rs:
+crates/topology/src/placement.rs:
+crates/topology/src/policy.rs:
+crates/topology/src/presets.rs:
+crates/topology/src/steal.rs:
+crates/topology/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target-model/debug/deps/parking_lot-5e67464435304a65.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target-model/debug/deps/libparking_lot-5e67464435304a65.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target-model/debug/deps/libparking_lot-5e67464435304a65.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

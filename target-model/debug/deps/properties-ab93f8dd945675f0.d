@@ -1,0 +1,5 @@
+/root/repo/target-model/debug/deps/properties-ab93f8dd945675f0.d: crates/core/tests/properties.rs
+
+/root/repo/target-model/debug/deps/properties-ab93f8dd945675f0: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target-model/debug/deps/rand-308d4d2ece19b930.d: vendor/rand/src/lib.rs
+
+/root/repo/target-model/debug/deps/librand-308d4d2ece19b930.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target-model/debug/deps/librand-308d4d2ece19b930.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target-model/debug/deps/runtime-e3203ca20816062a.d: crates/core/tests/runtime.rs
+
+/root/repo/target-model/debug/deps/runtime-e3203ca20816062a: crates/core/tests/runtime.rs
+
+crates/core/tests/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target-model/debug/deps/scope-8e047d879c7fae9f.d: crates/core/tests/scope.rs
+
+/root/repo/target-model/debug/deps/scope-8e047d879c7fae9f: crates/core/tests/scope.rs
+
+crates/core/tests/scope.rs:

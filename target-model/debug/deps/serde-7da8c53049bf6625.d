@@ -1,0 +1,7 @@
+/root/repo/target-model/debug/deps/serde-7da8c53049bf6625.d: vendor/serde/src/lib.rs
+
+/root/repo/target-model/debug/deps/libserde-7da8c53049bf6625.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target-model/debug/deps/libserde-7da8c53049bf6625.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

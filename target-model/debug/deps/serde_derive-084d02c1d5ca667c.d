@@ -1,0 +1,5 @@
+/root/repo/target-model/debug/deps/serde_derive-084d02c1d5ca667c.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target-model/debug/deps/libserde_derive-084d02c1d5ca667c.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:
