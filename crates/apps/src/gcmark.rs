@@ -1,0 +1,298 @@
+//! `gcmark`: a GC mark-phase flood over a random object graph.
+//!
+//! The tracing half of a mark-sweep collector is the canonical *irregular*
+//! work-stealing load: the frontier explodes and collapses with the graph's
+//! shape, tasks touch pointer-chasing pages with no streaming pattern, and
+//! duplicate discoveries race on the mark bitmap. None of the paper's seven
+//! regular benchmarks exercises this; `gcmark` adds it to the suite so the
+//! scheduler comparison (`policy_sweep`) covers flood-style traversal too.
+//!
+//! The parallel marker batches the worklist: a task pops nodes, sets their
+//! mark bit (an atomic fetch-or through the `nws_sync` facade — losing the
+//! race means someone else owns the node), appends the successors, and
+//! spills a fixed-size batch into a fresh scope task whenever the local
+//! list grows past two batches. The simulator DAG replays the *exact* BFS
+//! wavefront of the same seeded graph: one serial phase per BFS level, each
+//! fanning out over frontier chunks whose cycle counts and page touches
+//! follow the real (irregular) frontier sizes.
+
+use crate::common::{input_rng, pages_for};
+use numa_ws::sync::atomic::{AtomicU64, Ordering};
+use numa_ws::{scope, Place, Scope};
+use nws_sim::{Dag, DagBuilder, FrameId, PagePolicy, Strand, Touch};
+use rand::Rng;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Number of heap objects (graph nodes).
+    pub nodes: usize,
+    /// Average out-degree; per-node degrees vary uniformly in
+    /// `0..=2*avg_degree`, which is what makes the flood irregular.
+    pub avg_degree: usize,
+    /// Number of root nodes (first `roots` node ids).
+    pub roots: usize,
+    /// Worklist batch size (coarsening).
+    pub chunk: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { nodes: 1 << 18, avg_degree: 4, roots: 4, chunk: 256, seed: 0xC0FFEE }
+    }
+}
+
+impl Params {
+    /// Simulator-scale configuration.
+    pub fn sim() -> Self {
+        Params { nodes: 1 << 15, avg_degree: 4, roots: 4, chunk: 128, seed: 0xC0FFEE }
+    }
+
+    /// Tiny configuration for tests.
+    pub fn test() -> Self {
+        Params { nodes: 2_000, avg_degree: 3, roots: 3, chunk: 32, seed: 7 }
+    }
+}
+
+/// A heap snapshot in CSR form: `successors(v)` are the objects `v` points
+/// to.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    edges: Vec<u32>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Out-neighbours of `v`.
+    pub fn successors(&self, v: u32) -> &[u32] {
+        &self.edges[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+}
+
+/// A seeded random object graph with irregular out-degrees.
+pub fn random_graph(p: Params) -> Graph {
+    let mut rng = input_rng(p.seed);
+    let mut offsets = Vec::with_capacity(p.nodes + 1);
+    let mut edges = Vec::new();
+    offsets.push(0);
+    for _ in 0..p.nodes {
+        let deg = rng.gen_range(0..=2 * p.avg_degree);
+        for _ in 0..deg {
+            edges.push(rng.gen_range(0..p.nodes as u32));
+        }
+        offsets.push(edges.len());
+    }
+    Graph { offsets, edges }
+}
+
+// ---------------------------------------------------------------------------
+// Serial elision
+// ---------------------------------------------------------------------------
+
+/// Serial mark: depth-first flood from the roots; returns the mark vector.
+pub fn run_serial(g: &Graph, p: Params) -> Vec<bool> {
+    let mut marked = vec![false; g.num_nodes()];
+    let mut stack: Vec<u32> = (0..p.roots.min(g.num_nodes()) as u32).collect();
+    while let Some(v) = stack.pop() {
+        if std::mem::replace(&mut marked[v as usize], true) {
+            continue;
+        }
+        stack.extend_from_slice(g.successors(v));
+    }
+    marked
+}
+
+// ---------------------------------------------------------------------------
+// Parallel version (real runtime)
+// ---------------------------------------------------------------------------
+
+/// Sets node `v`'s mark bit; `true` if this call won the marking race.
+fn try_mark(bits: &[AtomicU64], v: u32) -> bool {
+    let word = &bits[v as usize / 64];
+    let mask = 1u64 << (v % 64);
+    word.fetch_or(mask, Ordering::Relaxed) & mask == 0
+}
+
+fn flood<'s>(
+    s: &Scope<'s>,
+    g: &'s Graph,
+    bits: &'s [AtomicU64],
+    mut pending: Vec<u32>,
+    chunk: usize,
+) {
+    while let Some(v) = pending.pop() {
+        if !try_mark(bits, v) {
+            continue;
+        }
+        pending.extend_from_slice(g.successors(v));
+        // Spill the oldest half of an oversized worklist into a sibling
+        // task; thieves pick it up while we keep flooding locally.
+        if pending.len() >= 2 * chunk {
+            let spill = pending.split_off(pending.len() - chunk);
+            s.spawn(move |s| flood(s, g, bits, spill, chunk));
+        }
+    }
+}
+
+/// Parallel mark (call inside [`Pool::install`](numa_ws::Pool::install));
+/// returns the mark vector, bit-identical to [`run_serial`]'s.
+pub fn run_parallel(g: &Graph, p: Params, places: usize) -> Vec<bool> {
+    let places = places.max(1);
+    let chunk = p.chunk.max(1);
+    let bits: Vec<AtomicU64> = (0..g.num_nodes().div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+    let roots: Vec<u32> = (0..p.roots.min(g.num_nodes()) as u32).collect();
+    scope(|s| {
+        // Seed one flood per root batch, spread over the places; the
+        // spills rebalance from there.
+        for (i, batch) in roots.chunks(chunk.max(1)).enumerate() {
+            let batch = batch.to_vec();
+            let (g, bits) = (&*g, &bits[..]);
+            s.spawn_at(Place(i % places), move |s| flood(s, g, bits, batch, chunk));
+        }
+    });
+    (0..g.num_nodes())
+        .map(|v| bits[v / 64].load(Ordering::Relaxed) & (1 << (v % 64)) != 0)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Simulator DAG
+// ---------------------------------------------------------------------------
+
+/// BFS levels of the seeded graph (deduplicated frontiers) — the wave
+/// structure the DAG mirrors.
+pub fn bfs_levels(g: &Graph, p: Params) -> Vec<Vec<u32>> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut frontier: Vec<u32> = (0..p.roots.min(g.num_nodes()) as u32).collect();
+    for &v in &frontier {
+        seen[v as usize] = true;
+    }
+    let mut levels = Vec::new();
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in g.successors(v) {
+                if !std::mem::replace(&mut seen[w as usize], true) {
+                    next.push(w);
+                }
+            }
+        }
+        levels.push(std::mem::replace(&mut frontier, next));
+    }
+    levels
+}
+
+/// Builds the simulator DAG: one serial phase per BFS wave of the seeded
+/// graph, each wave fanning out over frontier chunks. Chunk leaves touch
+/// the page span their nodes actually occupy — pointer-chasing spans, not
+/// streaming bands — with cycles proportional to the edges they scan.
+pub fn dag(params: Params, places: usize) -> Dag {
+    let places = places.max(1);
+    let g = random_graph(params);
+    let levels = bfs_levels(&g, params);
+    let mut b = DagBuilder::new();
+    // ~16 bytes of header+mark per object plus 4 bytes per edge reference.
+    let heap =
+        b.alloc("heap", pages_for(16 * g.num_nodes() as u64 + 4 * g.num_edges() as u64, 1), {
+            PagePolicy::Chunked { chunks: places }
+        });
+    let nodes_per_page = (4096 / 16) as u32;
+
+    let mut wave_frames: Vec<FrameId> = Vec::new();
+    for level in &levels {
+        let mut chunk_frames = Vec::new();
+        for (i, chunk) in level.chunks(params.chunk.max(1)).enumerate() {
+            let scanned: u64 = chunk.iter().map(|&v| g.successors(v).len() as u64 + 1).sum();
+            let lo = *chunk.iter().min().unwrap() / nodes_per_page;
+            let hi = *chunk.iter().max().unwrap() / nodes_per_page;
+            let strand = Strand {
+                cycles: 12 * scanned, // mark + pointer chase per object/edge
+                touches: vec![Touch {
+                    region: heap,
+                    start_page: lo as u64,
+                    pages: (hi - lo + 1) as u64,
+                    // Sparse within the span: a few lines per page, not a
+                    // streaming read.
+                    lines_per_page: 8,
+                }],
+            };
+            chunk_frames.push(b.frame(Place(i % places)).strand(strand).finish());
+        }
+        let mut fb = b.frame(Place(0));
+        for f in chunk_frames {
+            fb = fb.spawn(f);
+        }
+        wave_frames.push(fb.sync().finish());
+    }
+    // Waves are serial phases (level k+1's frontier comes out of level k).
+    let mut fb = b.frame(Place(0));
+    for f in wave_frames {
+        fb = fb.spawn(f).sync();
+    }
+    let root = fb.compute(1).finish();
+    b.build(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_ws::Pool;
+
+    #[test]
+    fn serial_marks_exactly_the_reachable_set() {
+        let p = Params::test();
+        let g = random_graph(p);
+        let marked = run_serial(&g, p);
+        let levels = bfs_levels(&g, p);
+        let reach: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(marked.iter().filter(|&&m| m).count(), reach);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let p = Params::test();
+        let g = random_graph(p);
+        let want = run_serial(&g, p);
+        for places in [1usize, 4] {
+            let pool = Pool::builder().workers(4).places(places).build().unwrap();
+            let got = pool.install(|| run_parallel(&g, p, places));
+            assert_eq!(got, want, "places={places}");
+        }
+    }
+
+    #[test]
+    fn graph_is_seed_deterministic_and_irregular() {
+        let p = Params::test();
+        let a = random_graph(p);
+        let b = random_graph(p);
+        assert_eq!(a.edges, b.edges);
+        let degs: Vec<usize> = (0..a.num_nodes() as u32).map(|v| a.successors(v).len()).collect();
+        assert!(degs.contains(&0) && degs.iter().any(|&d| d >= p.avg_degree));
+    }
+
+    #[test]
+    fn dag_mirrors_the_wavefront() {
+        let p = Params::test();
+        let d = dag(p, 4);
+        d.validate().unwrap();
+        let g = random_graph(p);
+        let levels = bfs_levels(&g, p);
+        assert!(!levels.is_empty());
+        // One wave frame + its chunk leaves per level, plus the root.
+        let chunks: usize = levels.iter().map(|l| l.len().div_ceil(p.chunk)).sum();
+        assert_eq!(d.num_frames(), 1 + levels.len() + chunks);
+        assert!(d.span() as usize >= levels.len(), "waves serialize the span");
+    }
+}

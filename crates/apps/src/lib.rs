@@ -20,13 +20,23 @@
 //! | [`hull`] | quickhull | in-disk (`hull1`) / on-circle (`hull2`) |
 //! | [`matmul`] | 8-way D&C matmul (+`-z`) | dense f64 |
 //! | [`strassen`] | Strassen (+`-z`) | dense f64 |
+//!
+//! Two *irregular* workloads extend the suite beyond the paper (scheduler
+//! comparison coverage — see DESIGN.md §8):
+//!
+//! | module | shape | input |
+//! |---|---|---|
+//! | [`gcmark`] | GC mark-phase flood | random object graph |
+//! | [`pipeline`] | heterogeneous stage/service mix | seeded batches |
 
 #![warn(missing_docs)]
 
 pub mod cg;
 pub mod cilksort;
 pub mod common;
+pub mod gcmark;
 pub mod heat;
 pub mod hull;
 pub mod matmul;
+pub mod pipeline;
 pub mod strassen;

@@ -267,6 +267,38 @@ fn main() {
         });
     }
 
+    // --- trace replay throughput: full discrete-event replay of the
+    // committed golden trace (fib(12) recorded from a real 4-worker pool)
+    // under the numa-ws scheduler; ns per recorded task. Parsing and DAG
+    // lowering happen outside the timed region — this is the simulator
+    // engine's cost, the number that bounds how fast policy sweeps over
+    // recorded traces can go.
+    {
+        use nws_sim::{trace_to_dag, SchedPolicy, SimConfig, Simulation};
+        use nws_topology::presets;
+        let samples = if quick { 5 } else { 31 };
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/traces/golden_fib.trace"
+        ))
+        .expect("committed golden trace");
+        let trace = nws_trace::Trace::parse(&text).expect("golden trace parses");
+        let tasks = trace.tasks.len() as u64;
+        let dag = trace_to_dag(&trace, 1);
+        let topo = presets::paper_machine();
+        let median = sample_median(samples, tasks, || {
+            let cfg = SimConfig::with_policy(SchedPolicy::numa_ws(), 8).with_seed(0x5EED);
+            let report = Simulation::new(&topo, cfg, &dag).expect("8 workers fit").run();
+            std::hint::black_box(report.makespan);
+        });
+        results.push(BenchResult {
+            name: "trace_replay_sim",
+            median_ns_per_op: median,
+            ops_per_sample: tasks,
+            samples,
+        });
+    }
+
     // --- render JSON (no serde_json under vendoring; the format is flat).
     let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
     let mut json = String::new();

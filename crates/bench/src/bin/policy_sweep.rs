@@ -16,14 +16,26 @@
 //! Figure-style ablation. Output is three `nws_metrics` tables: the
 //! side-by-side grid summary, then the full counter set per substrate.
 //!
+//! Since PR 7 the sweep also covers the *scheduler* axis: the three
+//! [`Scheduler`](nws_sim::Scheduler) implementations (`numa-ws`,
+//! `vanilla-ws`, `epoch-sync`, the presets of
+//! `SchedPolicy::scheduler_grid`) run over the regular heat DAG **and**
+//! the two irregular workloads (`gcmark`'s marking flood, `pipeline`'s
+//! service mix) in the simulator, with the steal-based pair mirrored on
+//! the real pool (`epoch-sync` needs the simulator's global clock and is
+//! sim-only). A final section records a trace from the real pool and
+//! replays it through every scheduler, asserting the replay is
+//! deterministic — the same record→replay loop the golden tests pin.
+//!
 //! Run: `cargo run --release -p nws_bench --bin policy_sweep [-- --quick]`
 //! (`--quick` is the CI smoke configuration: one grid cell, shrunk
 //! workloads).
 
 use numa_ws::{join_at, Place, Pool};
+use nws_apps::{gcmark, pipeline};
 use nws_bench::{counters_of_pool, counters_of_sim, machine, BenchId};
 use nws_metrics::{counter_row, counter_table, SchedCounters, Table};
-use nws_sim::{SchedPolicy, SimConfig, Simulation};
+use nws_sim::{trace_to_dag, Dag, SchedPolicy, SimConfig, SimReport, Simulation};
 use std::time::{Duration, Instant};
 
 /// One grid cell's simulator measurement.
@@ -125,6 +137,128 @@ fn run_real(policy: SchedPolicy, quick: bool) -> RealCell {
     }
 }
 
+/// The scheduler-axis workloads: heat (regular) plus the two irregular
+/// additions, at a scale keyed to `--quick`.
+fn workloads(quick: bool) -> Vec<(&'static str, Dag)> {
+    let (gp, pp) = if quick {
+        (gcmark::Params::test(), pipeline::Params::test())
+    } else {
+        (gcmark::Params::sim(), pipeline::Params::sim())
+    };
+    vec![
+        ("heat", if quick { BenchId::Cilksort.dag(4) } else { BenchId::Heat.dag(4) }),
+        ("gcmark", gcmark::dag(gp, 4)),
+        ("pipeline", pipeline::dag(pp, 4)),
+    ]
+}
+
+fn sim_run(policy: &SchedPolicy, dag: &Dag, workers: usize) -> SimReport {
+    let cfg = SimConfig::with_policy(*policy, workers).with_seed(42);
+    Simulation::new(&machine(), cfg, dag).expect("workers fit").run()
+}
+
+/// Real-pool wall time for the two irregular workloads under a policy.
+fn real_irregular(policy: &SchedPolicy, quick: bool) -> (Duration, Duration) {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).clamp(2, 8);
+    let places = 2.min(workers);
+    let pool = Pool::builder()
+        .workers(workers)
+        .places(places)
+        .policy(*policy)
+        .seed(42)
+        .build()
+        .expect("pool");
+    let gp = if quick { gcmark::Params::test() } else { gcmark::Params::default() };
+    let g = gcmark::random_graph(gp);
+    let t0 = Instant::now();
+    let marked = pool.install(|| gcmark::run_parallel(&g, gp, places));
+    assert!(marked.iter().any(|&m| m), "the flood must mark something");
+    let gc_wall = t0.elapsed();
+    let pp = if quick { pipeline::Params::test() } else { pipeline::Params::default() };
+    let mut data = pipeline::initial_data(pp);
+    let t0 = Instant::now();
+    pool.install(|| pipeline::run_parallel(&mut data, pp, places));
+    assert!(pipeline::checksum(&data) != 0);
+    (gc_wall, t0.elapsed())
+}
+
+/// The scheduler-axis sweep: every `Scheduler` impl over every workload on
+/// the simulator, the steal-based pair mirrored on the real pool.
+fn scheduler_grid_section(quick: bool) {
+    println!("-- scheduler grid: three Scheduler impls x three workloads --");
+    let dags = workloads(quick);
+    let mut table = Table::new(vec![
+        "scheduler",
+        "workload",
+        "sim T32 (kcyc)",
+        "sim steals",
+        "epoch waits",
+        "real gc (ms)",
+        "real pipe (ms)",
+    ]);
+    for (name, policy) in SchedPolicy::scheduler_grid() {
+        // epoch-sync needs the simulator's global clock: sim-only.
+        let real =
+            (policy.algo != nws_sim::SchedAlgo::EpochSync).then(|| real_irregular(&policy, quick));
+        for (wname, dag) in &dags {
+            let r = sim_run(&policy, dag, 32);
+            let (gc, pipe) =
+                real.as_ref().map_or(("-".into(), "-".into()), |(g, p): &(Duration, Duration)| {
+                    (
+                        format!("{:.2}", g.as_secs_f64() * 1e3),
+                        format!("{:.2}", p.as_secs_f64() * 1e3),
+                    )
+                });
+            table.row(vec![
+                name.to_string(),
+                wname.to_string(),
+                format!("{}", r.makespan / 1000),
+                r.counters.steals.to_string(),
+                r.counters.epoch_waits.to_string(),
+                gc,
+                pipe,
+            ]);
+        }
+    }
+    println!("{table}");
+}
+
+/// Record a trace on the real pool, replay it through every scheduler, and
+/// assert the replay is deterministic (the record→replay loop).
+fn trace_replay_section(quick: bool) {
+    println!("-- record/replay: real-pool trace through every scheduler --");
+    let pool =
+        Pool::builder().workers(4).places(2).seed(42).record_trace(true).build().expect("pool");
+    let gp = if quick { gcmark::Params::test() } else { gcmark::Params::sim() };
+    let g = gcmark::random_graph(gp);
+    pool.install(|| std::hint::black_box(gcmark::run_parallel(&g, gp, 2)));
+    let trace = pool.take_trace("policy_sweep-gcmark").expect("recording was enabled");
+    trace.validate().expect("recorded trace is well-formed");
+    let dag = trace_to_dag(&trace, nws_sim::DEFAULT_NS_PER_CYCLE);
+    println!(
+        "recorded {} tasks ({} started) over {} ns; replaying as a {}-frame DAG",
+        trace.tasks.len(),
+        trace.num_started(),
+        trace.total_ns(),
+        dag.num_frames()
+    );
+    let mut table = Table::new(vec!["scheduler", "replay T32 (kcyc)", "steals", "deterministic"]);
+    for (name, policy) in SchedPolicy::scheduler_grid() {
+        let cfg = SimConfig::with_policy(policy, 32).with_seed(42).with_log_schedule(true);
+        let a = Simulation::new(&machine(), cfg.clone(), &dag).expect("fits").run();
+        let b = Simulation::new(&machine(), cfg, &dag).expect("fits").run();
+        assert_eq!(a.schedule, b.schedule, "{name}: replay must be deterministic");
+        assert_eq!(a.makespan, b.makespan, "{name}: replay must be deterministic");
+        table.row(vec![
+            name.to_string(),
+            format!("{}", a.makespan / 1000),
+            a.counters.steals.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let grid: Vec<(&'static str, SchedPolicy)> = if quick {
@@ -179,4 +313,8 @@ fn main() {
     for (name, policy, _, _) in &cells {
         println!("{name:>14}: {policy}");
     }
+    println!();
+
+    scheduler_grid_section(quick);
+    trace_replay_section(quick);
 }

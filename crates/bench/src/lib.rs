@@ -220,6 +220,7 @@ pub fn counters_of_pool(stats: &numa_ws::PoolStats) -> nws_metrics::SchedCounter
         injector_takes: Some(stats.total_injector_takes()),
         wakeups: Some(stats.total_wakeups()),
         scope_spawns: Some(stats.total_scope_spawns()),
+        epoch_waits: None,
     }
 }
 
@@ -241,6 +242,7 @@ pub fn counters_of_sim(dag: &Dag, report: &SimReport) -> nws_metrics::SchedCount
         injector_takes: None,
         wakeups: None,
         scope_spawns: None,
+        epoch_waits: Some(report.counters.epoch_waits),
     }
 }
 

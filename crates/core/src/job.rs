@@ -37,6 +37,9 @@ pub(crate) struct JobRef {
     pointer: *const (),
     execute_fn: unsafe fn(*const ()),
     place: Place,
+    /// Trace-recorder task id; `0` means "untraced" (recording off, or a
+    /// path that never met the recorder, e.g. a deque-overflow inline run).
+    trace: u64,
 }
 
 // SAFETY: JobRef hands a stack pointer across threads; the join protocol
@@ -51,7 +54,19 @@ impl JobRef {
     /// `data` must stay valid until the job executes, and the job must be
     /// executed exactly once.
     pub(crate) unsafe fn new<T: Job>(data: *const T, place: Place) -> JobRef {
-        JobRef { pointer: data as *const (), execute_fn: T::execute, place }
+        JobRef { pointer: data as *const (), execute_fn: T::execute, place, trace: 0 }
+    }
+
+    /// Trace-recorder id attached at the spawn point (`0` = untraced).
+    #[inline]
+    pub(crate) fn trace(&self) -> u64 {
+        self.trace
+    }
+
+    /// Attaches a trace-recorder id (done once, at the spawn point).
+    #[inline]
+    pub(crate) fn set_trace(&mut self, id: u64) {
+        self.trace = id;
     }
 
     /// The locality hint attached at spawn time.
@@ -179,8 +194,11 @@ where
         // completion) then sees every counter this job's execution bumped —
         // the exactness half of the deferred-flush protocol (stats module
         // docs). Steal path: the owner's un-stolen jobs never come here.
+        // The trace End obeys the same rule: a caller that observes the
+        // latch and drains the trace must find this bracket closed.
         if let Some(worker) = crate::registry::WorkerThread::current() {
             worker.flush_counters();
+            worker.trace_close();
         }
         this.latch.set();
     }
@@ -232,6 +250,7 @@ where
         // job (e.g. a channel send it performed) is.
         if let Some(worker) = crate::registry::WorkerThread::current() {
             worker.flush_counters();
+            worker.trace_close();
         }
     }
 }

@@ -104,8 +104,15 @@ where
         match worker.pop() {
             Some(popped) if popped.id() == id_b => {
                 // The common un-stolen case: our spawn is still the tail.
+                // `run_inline` bypasses `WorkerThread::execute`, so open the
+                // trace bracket here with the id `push` attached to the
+                // popped copy (a no-op when recording is off).
+                let t = popped.trace();
+                let prev = worker.trace_enter(t);
                 // SAFETY: popped unexecuted JobRef; job_b is alive.
-                break panic::catch_unwind(AssertUnwindSafe(|| unsafe { job_b.run_inline() }));
+                let r = panic::catch_unwind(AssertUnwindSafe(|| unsafe { job_b.run_inline() }));
+                worker.trace_exit(t, prev);
+                break r;
             }
             Some(other) => {
                 // Not our spawn: `a` (or a waiting frame below us) pushed

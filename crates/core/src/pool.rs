@@ -60,6 +60,7 @@ pub struct PoolBuilder {
     seed: u64,
     stats_enabled: bool,
     deque_capacity: usize,
+    record_trace: bool,
 }
 
 impl Default for PoolBuilder {
@@ -75,6 +76,7 @@ impl Default for PoolBuilder {
             seed: 0x5EED_CAFE,
             stats_enabled: true,
             deque_capacity: 8192,
+            record_trace: false,
         }
     }
 }
@@ -148,6 +150,17 @@ impl PoolBuilder {
         self
     }
 
+    /// Enables DAG trace recording: every spawn edge and execution interval
+    /// is logged into per-worker lanes, retrievable with
+    /// [`Pool::take_trace`] and replayable through the simulator's
+    /// scheduler implementations (see `nws_trace`). Off by default — the
+    /// recording hooks then compile down to a `None` check on the work
+    /// path.
+    pub fn record_trace(&mut self, enabled: bool) -> &mut Self {
+        self.record_trace = enabled;
+        self
+    }
+
     /// Builds the pool and starts its workers.
     ///
     /// # Errors
@@ -183,6 +196,7 @@ impl PoolBuilder {
             self.stats_enabled,
             self.deque_capacity,
             self.seed,
+            self.record_trace,
         );
         let mut handles = Vec::with_capacity(self.workers);
         for (index, deque) in owners.into_iter().enumerate() {
@@ -406,6 +420,46 @@ impl Pool {
     /// run).
     pub fn reset_stats(&self) {
         self.registry.reset_stats()
+    }
+
+    /// Drains the recorded execution trace into a validated
+    /// [`Trace`](nws_trace::Trace), or `None` if the pool was built without
+    /// [`record_trace`](PoolBuilder::record_trace).
+    ///
+    /// Call only at a quiescent point — after every `install`/`scope` has
+    /// returned and no `spawn` is in flight — so every recorded task has
+    /// both its Start and End events. Draining resets the recorder, so
+    /// consecutive calls capture disjoint episodes (a deque-overflow inline
+    /// run may leave a spawned-but-never-started task in the trace; the
+    /// format tolerates that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event soup violates the exactly-once contract, which
+    /// indicates either a non-quiescent drain or a runtime bug.
+    pub fn take_trace(&self, label: &str) -> Option<nws_trace::Trace> {
+        let sink = self.registry.trace.as_ref()?;
+        // A fire-and-forget job publishes its results (e.g. a channel send)
+        // from inside its closure, before the recorder's End event lands —
+        // there is no latch ordering the two. Bridge that last gap here:
+        // once the workload is quiescent no new brackets can open, so wait
+        // out any worker still inside the few instructions between its
+        // observable completion and its End record. Bounded so a genuine
+        // non-quiescent call still reaches the fold's diagnostic panic.
+        for _ in 0..1_000_000 {
+            if sink.open_brackets() == 0 {
+                break;
+            }
+            nws_sync::thread::yield_now();
+        }
+        let meta = nws_trace::TraceMeta {
+            workers: self.num_workers(),
+            places: self.num_places(),
+            seed: self.registry.seed,
+            label: label.to_string(),
+        };
+        let events = sink.drain();
+        Some(nws_trace::Trace::from_events(meta, &events).expect("trace drained mid-execution"))
     }
 }
 

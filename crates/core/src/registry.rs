@@ -15,6 +15,7 @@ use nws_topology::{
     worker_rng_seed, CoinFlip, Place, SchedPolicy, SplitMix64, StealDistribution, Topology,
     WorkerMap,
 };
+use nws_trace::{TraceEvent, TraceSink};
 use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Duration;
@@ -58,7 +59,14 @@ pub(crate) struct Registry {
     /// plus the condvar `wait_until_started` blocks on (no busy-spin).
     started: Mutex<usize>,
     started_cv: Condvar,
-    seed: u64,
+    pub(crate) seed: u64,
+    /// DAG trace recorder, present when the pool was built with
+    /// [`record_trace`](crate::PoolBuilder::record_trace). Spawn edges are
+    /// recorded at the spawn points ([`WorkerThread::push`], [`inject`]),
+    /// Start/End brackets around execution; each worker writes only its own
+    /// lane, so recording adds no cross-worker contention beyond the id
+    /// counter.
+    pub(crate) trace: Option<Arc<TraceSink>>,
 }
 
 impl Registry {
@@ -71,6 +79,7 @@ impl Registry {
         stats_enabled: bool,
         deque_capacity: usize,
         seed: u64,
+        record_trace: bool,
     ) -> (Arc<Registry>, Vec<TheWorker<JobRef>>) {
         let p = map.num_workers();
         let s = map.num_places();
@@ -111,6 +120,7 @@ impl Registry {
             started: Mutex::new(0),
             started_cv: Condvar::new(),
             seed,
+            trace: record_trace.then(|| Arc::new(TraceSink::new(p))),
             topo,
             map,
             sleep_timeout: Duration::from_micros(policy.sleep.sleep_timeout_us),
@@ -128,12 +138,27 @@ impl Registry {
     /// broadcasts rather than waking one worker: a single `notify_one`
     /// could land on a join-waiter whose latch was just set, which would
     /// resume its continuation without ever looking for this job.
-    pub(crate) fn inject(&self, job: JobRef) {
+    pub(crate) fn inject(&self, mut job: JobRef) {
         let s = self.map.num_places();
         let place = match job.place().index() {
             Some(p) => p % s,
             None => self.next_ingress.fetch_add(1, Ordering::Relaxed) % s,
         };
+        if let Some(tr) = &self.trace {
+            let id = tr.next_id();
+            job.set_trace(id);
+            // A pool worker may reach inject (a scope handle that crossed
+            // threads, a nested install): attribute the spawn edge to it;
+            // truly external submissions go to the external lane, rootless.
+            let (lane, parent) = match WorkerThread::current() {
+                Some(w) if std::ptr::eq(Arc::as_ptr(&w.registry), self) => {
+                    let p = w.trace_task.get();
+                    (w.index, (p != 0).then_some(p))
+                }
+                _ => (tr.external_lane(), None),
+            };
+            tr.record(lane, TraceEvent::Spawn { task: id, parent, place: job.place().index() });
+        }
         self.injectors[place].push(job);
         self.sleep.wake_all();
     }
@@ -211,6 +236,10 @@ pub(crate) struct WorkerThread {
     /// Work-path counters; flushed into the shared atomics at steal-path
     /// transitions (see `stats` module docs for the protocol).
     local: LocalCounters,
+    /// Trace id of the task currently executing on this worker (`0` when
+    /// idle or recording is off) — the parent of any spawn recorded here.
+    /// A plain cell, saved/restored around nested `execute`s like a stack.
+    trace_task: Cell<u64>,
 }
 
 impl WorkerThread {
@@ -294,7 +323,20 @@ impl WorkerThread {
     /// Hands the job back if the deque is at capacity; the caller then runs
     /// it inline (losing only stealability, never correctness).
     #[inline]
-    pub(crate) fn push(&self, job: JobRef) -> Result<(), Full<JobRef>> {
+    pub(crate) fn push(&self, mut job: JobRef) -> Result<(), Full<JobRef>> {
+        if let Some(tr) = &self.registry.trace {
+            let id = tr.next_id();
+            job.set_trace(id);
+            let parent = self.trace_task.get();
+            tr.record(
+                self.index,
+                TraceEvent::Spawn {
+                    task: id,
+                    parent: (parent != 0).then_some(parent),
+                    place: job.place().index(),
+                },
+            );
+        }
         match self.deque.push(job) {
             Ok(()) => {
                 bump!(self.local, spawns);
@@ -323,8 +365,60 @@ impl WorkerThread {
     /// `job` must be live and not yet executed.
     pub(crate) unsafe fn execute(&self, job: JobRef) {
         self.switch_to(Category::Work);
+        let t = job.trace();
+        let prev = self.trace_enter(t);
         job.execute();
+        self.trace_exit(t, prev);
         self.switch_to(Category::Idle);
+    }
+
+    /// Opens a task's execution bracket: records its Start event and makes
+    /// it the parent of spawns recorded here until the matching
+    /// [`trace_exit`](Self::trace_exit). Returns the previous current-task
+    /// id for the caller to restore (brackets nest: a stolen task's `join`
+    /// executes other jobs on this same worker). A `0` id records nothing
+    /// but still scopes parenthood — an untraced job's spawns are rootless
+    /// rather than mis-attributed to whatever ran before it.
+    #[inline]
+    pub(crate) fn trace_enter(&self, task: u64) -> u64 {
+        let prev = self.trace_task.replace(task);
+        if task != 0 {
+            if let Some(tr) = &self.registry.trace {
+                let at_ns = tr.now_ns();
+                tr.record(self.index, TraceEvent::Start { task, worker: self.index, at_ns });
+            }
+        }
+        prev
+    }
+
+    /// Closes the bracket opened by [`trace_enter`](Self::trace_enter).
+    /// Skips the End event if [`trace_close`](Self::trace_close) already
+    /// recorded it (the publish-before-latch path).
+    #[inline]
+    pub(crate) fn trace_exit(&self, task: u64, prev: u64) {
+        if task != 0 && self.trace_task.get() == task {
+            if let Some(tr) = &self.registry.trace {
+                tr.record(self.index, TraceEvent::End { task, at_ns: tr.now_ns() });
+            }
+        }
+        self.trace_task.set(prev);
+    }
+
+    /// Records the current task's End event *before* its completion becomes
+    /// observable — the trace analogue of the flush-before-latch-set rule
+    /// (see `stats` module docs): the job representations call this next to
+    /// `flush_counters`, ahead of setting their latch, so a caller that
+    /// returns from `install`/`join`/`scope` and immediately drains the
+    /// trace finds every bracket closed. Idempotent with
+    /// [`trace_exit`](Self::trace_exit), which detects the cleared id.
+    #[inline]
+    pub(crate) fn trace_close(&self) {
+        let task = self.trace_task.replace(0);
+        if task != 0 {
+            if let Some(tr) = &self.registry.trace {
+                tr.record(self.index, TraceEvent::End { task, at_ns: tr.now_ns() });
+            }
+        }
     }
 
     /// Steals-while-waiting until `latch` is set (the join and scope slow
@@ -541,6 +635,7 @@ pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorke
         rng: Cell::new(worker_rng_seed(registry.seed, index)),
         clock: Clock::new(registry.stats_enabled, Category::Idle),
         local: LocalCounters::default(),
+        trace_task: Cell::new(0),
         registry,
         index,
         deque,

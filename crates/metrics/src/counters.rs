@@ -42,6 +42,9 @@ pub struct SchedCounters {
     /// Tasks spawned through the structured scope subsystem (runtime
     /// only).
     pub scope_spawns: Option<u64>,
+    /// Idle waits for an epoch boundary (simulator only, and only under
+    /// the epoch-sync scheduler — the steal-based schedulers never wait).
+    pub epoch_waits: Option<u64>,
 }
 
 impl SchedCounters {
@@ -61,6 +64,7 @@ impl SchedCounters {
             "ingress",
             "wakeups",
             "scope",
+            "epoch wait",
         ]
     }
 
@@ -83,6 +87,7 @@ impl SchedCounters {
             opt(self.injector_takes),
             opt(self.wakeups),
             opt(self.scope_spawns),
+            opt(self.epoch_waits),
         ]
     }
 }
@@ -122,6 +127,7 @@ mod tests {
             injector_takes: Some(7),
             wakeups: Some(11),
             scope_spawns: Some(13),
+            epoch_waits: None,
         };
         assert_eq!(SchedCounters::headers().len(), c.row().len());
     }
@@ -131,7 +137,7 @@ mod tests {
         let sim_side = SchedCounters { steals: 5, ..Default::default() };
         let row = sim_side.row();
         assert_eq!(row[2], "5");
-        assert_eq!(&row[8..], ["-", "-", "-", "-"], "runtime-only counters absent on sim");
+        assert_eq!(&row[8..12], ["-", "-", "-", "-"], "runtime-only counters absent on sim");
     }
 
     #[test]

@@ -98,6 +98,11 @@ pub struct SimConfig {
     pub contention: ContentionModel,
     /// Scheduler operation costs.
     pub costs: SchedCosts,
+    /// Record the run's full schedule (steal sequence and per-frame
+    /// executors) into [`SimReport::schedule`](crate::SimReport) — the
+    /// evidence the record/replay determinism tests compare. Off by
+    /// default.
+    pub log_schedule: bool,
 }
 
 impl SimConfig {
@@ -120,6 +125,22 @@ impl SimConfig {
         Self::with_policy(SchedPolicy::numa_ws(), workers)
     }
 
+    /// Classic work stealing as a distinct *algorithm*
+    /// ([`SchedPolicy::vanilla_ws`]): uniform victims and deque-only
+    /// steals regardless of the policy knobs — see
+    /// [`VanillaWsScheduler`](crate::scheduler::VanillaWsScheduler).
+    pub fn vanilla_ws(workers: usize) -> Self {
+        Self::with_policy(SchedPolicy::vanilla_ws(), workers)
+    }
+
+    /// The TREES-style epoch-synchronized scheduler
+    /// ([`SchedPolicy::epoch_sync`]): deterministic longest-deque raids
+    /// and epoch-boundary waits, no RNG — see
+    /// [`EpochSyncScheduler`](crate::scheduler::EpochSyncScheduler).
+    pub fn epoch_sync(workers: usize) -> Self {
+        Self::with_policy(SchedPolicy::epoch_sync(), workers)
+    }
+
     /// A simulation of `workers` packed workers under an arbitrary
     /// scheduling policy (ablation grid cells included).
     pub fn with_policy(policy: SchedPolicy, workers: usize) -> Self {
@@ -132,6 +153,7 @@ impl SimConfig {
             caches: CacheConfig::default(),
             contention: ContentionModel::default(),
             costs: SchedCosts::default(),
+            log_schedule: false,
         }
     }
 
@@ -157,6 +179,12 @@ impl SimConfig {
     /// Builder-style placement override.
     pub fn with_placement(mut self, placement: Placement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Builder-style schedule-logging toggle.
+    pub fn with_log_schedule(mut self, on: bool) -> Self {
+        self.log_schedule = on;
         self
     }
 }

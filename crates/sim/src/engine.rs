@@ -12,14 +12,18 @@
 //! scheduling loop. Deques and mailboxes are plain sequential state because
 //! turns are serialized; the concurrency *protocol* (who may take what,
 //! when) follows the paper's pseudocode exactly.
+//!
+//! The engine owns the mechanisms only; the scheduling *decisions* (victim
+//! choice, coin flip, push-or-run, wait) are delegated to a pluggable
+//! [`Scheduler`](crate::scheduler::Scheduler) selected by the policy's
+//! [`SchedAlgo`](nws_topology::SchedAlgo) — see `crate::scheduler`.
 
 use crate::config::SimConfig;
 use crate::dag::{Dag, FrameId, Step};
 use crate::memory::MemorySystem;
-use crate::report::{Counters, SimReport, WorkerTimes};
-use nws_topology::{
-    worker_rng_seed, CoinFlip, Place, StealDistribution, Topology, TopologyError, WorkerMap,
-};
+use crate::report::{Counters, ScheduleLog, SimReport, WorkerTimes};
+use crate::scheduler::{scheduler_for, Cont, IdleAction, ReadyAction, SchedView, Scheduler};
+use nws_topology::{worker_rng_seed, Place, StealDistribution, Topology, TopologyError, WorkerMap};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::VecDeque;
@@ -34,9 +38,6 @@ enum WState {
     /// In the scheduling loop, about to attempt a steal.
     Steal,
 }
-
-/// A ready continuation: a frame plus the step to resume at.
-type Cont = (usize, u32);
 
 /// One configured simulation, ready to [`run`](Simulation::run).
 #[derive(Debug)]
@@ -122,6 +123,9 @@ struct Engine<'a> {
     cfg: &'a SimConfig,
     map: WorkerMap,
     mem: MemorySystem,
+    /// The decision layer (victim choice, coin flip, push-or-run, wait),
+    /// selected by `cfg.policy.algo` — see `crate::scheduler`.
+    scheduler: Box<dyn Scheduler>,
 
     clocks: Vec<u64>,
     work: Vec<u64>,
@@ -137,6 +141,7 @@ struct Engine<'a> {
     suspended: Vec<Option<u32>>,
 
     counters: Counters,
+    schedule: Option<ScheduleLog>,
     done_at: Option<u64>,
 }
 
@@ -158,6 +163,11 @@ impl<'a> Engine<'a> {
         let mut states = vec![WState::Steal; p];
         states[0] = WState::Exec { frame: dag.root().0, step: 0 };
         Engine {
+            scheduler: scheduler_for(&cfg.policy, topo, &map),
+            schedule: cfg.log_schedule.then(|| ScheduleLog {
+                steals: Vec::new(),
+                executors: vec![None; dag.num_frames()],
+            }),
             topo,
             dag,
             cfg,
@@ -203,7 +213,36 @@ impl<'a> Engine<'a> {
                 }
             })
             .collect();
-        SimReport { makespan, workers, counters: self.counters, class_lines: self.mem.class_lines }
+        SimReport {
+            makespan,
+            workers,
+            counters: self.counters,
+            class_lines: self.mem.class_lines,
+            schedule: self.schedule,
+        }
+    }
+
+    /// Consults the scheduler's idle decision for worker `w`. Split-borrows
+    /// the engine so the read-only view, the mutable scheduler state, and
+    /// `w`'s rng coexist.
+    fn idle_action(&mut self, w: usize) -> IdleAction {
+        let Engine { scheduler, rngs, cfg, dists, deques, mailboxes, clocks, dag, map, .. } = self;
+        let view = SchedView::new(&cfg.policy, dists, deques, mailboxes, clocks, dag, map);
+        scheduler.on_worker_idle(w, &view, &mut rngs[w])
+    }
+
+    /// Consults the scheduler's ready decision for `frame` held by `w`.
+    fn ready_action(&mut self, w: usize, frame: usize) -> ReadyAction {
+        let Engine { scheduler, rngs, cfg, dists, deques, mailboxes, clocks, dag, map, .. } = self;
+        let view = SchedView::new(&cfg.policy, dists, deques, mailboxes, clocks, dag, map);
+        scheduler.on_task_ready(w, frame, &view, &mut rngs[w])
+    }
+
+    /// Notifies the scheduler that `frame` finished on `w`.
+    fn notify_finished(&mut self, w: usize, frame: usize) {
+        let Engine { scheduler, cfg, dists, deques, mailboxes, clocks, dag, map, .. } = self;
+        let view = SchedView::new(&cfg.policy, dists, deques, mailboxes, clocks, dag, map);
+        scheduler.on_task_finished(w, frame, &view);
     }
 
     fn my_place(&self, w: usize) -> Place {
@@ -292,6 +331,10 @@ impl<'a> Engine<'a> {
     }
 
     fn frame_returns(&mut self, w: usize, frame: usize) {
+        if let Some(log) = &mut self.schedule {
+            log.executors[frame] = Some(w);
+        }
+        self.notify_finished(w, frame);
         if frame == self.dag.root().0 {
             self.done_at = Some(self.clocks[w]);
             return;
@@ -331,15 +374,17 @@ impl<'a> Engine<'a> {
         self.states[w] = WState::Steal;
     }
 
-    /// A worker holds a ready full frame. Under a mailbox-using policy, a
-    /// frame earmarked for another place is pushed back (Fig 5 l.5-11 /
-    /// l.21-26); on push failure past the threshold the worker keeps it.
+    /// A worker holds a ready full frame: the scheduler decides run-here
+    /// vs. PUSHBACK toward its place (Fig 5 l.5-11 / l.21-26 under
+    /// NUMA-WS); on push failure past the threshold the worker keeps it.
     fn resume_full(&mut self, w: usize, cont: Cont) {
-        if self.cfg.policy.uses_mailboxes() && self.is_foreign(w, cont.0) && self.pushback(w, cont)
-        {
-            self.states[w] = WState::Steal;
-        } else {
-            self.states[w] = WState::Exec { frame: cont.0, step: cont.1 };
+        match self.ready_action(w, cont.0) {
+            // The guard runs the PUSHBACK episode; a failed delivery falls
+            // through to executing the frame here (load balancing wins).
+            ReadyAction::PushBack if self.pushback(w, cont) => self.states[w] = WState::Steal,
+            ReadyAction::PushBack | ReadyAction::Run => {
+                self.states[w] = WState::Exec { frame: cont.0, step: cont.1 }
+            }
         }
     }
 
@@ -379,7 +424,8 @@ impl<'a> Engine<'a> {
 
     fn step_steal(&mut self, w: usize) {
         // Check own mailbox first (Fig 5 l.25-26): anything there is for
-        // our place by construction.
+        // our place by construction. This is an engine mechanism, common to
+        // every scheduler: earmarked work is never re-decided.
         if let Some(cont) = self.mailboxes[w].pop_front() {
             let cost = self.cfg.costs.mailbox_take;
             self.clocks[w] += cost;
@@ -388,20 +434,21 @@ impl<'a> Engine<'a> {
             self.states[w] = WState::Exec { frame: cont.0, step: cont.1 };
             return;
         }
-        let dist =
-            self.dists[w].as_ref().expect("a lone worker never enters the scheduling loop").clone();
-        let victim = dist.sample(self.rngs[w].next_u64());
+        let (victim, try_mailbox) = match self.idle_action(w) {
+            IdleAction::Wait { until } => {
+                // An epoch-style scheduler sits out the rest of the epoch;
+                // the gap is idle time (makespan minus busy). Clamp forward
+                // so time always advances even on a stale boundary.
+                self.counters.epoch_waits += 1;
+                self.clocks[w] = until.max(self.clocks[w] + 1);
+                return;
+            }
+            IdleAction::Steal { victim, try_mailbox } => (victim, try_mailbox),
+        };
         let probe_cost = self.cfg.costs.steal_base
             + self.cfg.costs.steal_per_distance * self.distance(w, victim);
         self.counters.steal_attempts += 1;
 
-        // Coin flip between deque and mailbox (Fig 5 / §III-B).
-        let try_mailbox = self.cfg.policy.uses_mailboxes()
-            && match self.cfg.policy.coin_flip {
-                CoinFlip::Fair => self.rngs[w].next_u64() & 1 == 0,
-                CoinFlip::MailboxFirst => true,
-                CoinFlip::DequeOnly => false,
-            };
         if try_mailbox {
             if let Some(&cont) = self.mailboxes[victim].front() {
                 if !self.is_foreign(w, cont.0) {
@@ -433,6 +480,9 @@ impl<'a> Engine<'a> {
             // Successful steal: promote to a full frame.
             self.stolen[cont.0] = true;
             self.counters.steals += 1;
+            if let Some(log) = &mut self.schedule {
+                log.steals.push((w, victim, cont.0));
+            }
             if self.map.socket_of(victim) != self.map.socket_of(w) {
                 self.counters.remote_steals += 1;
             }
@@ -701,5 +751,56 @@ mod tests {
                 "per-worker times must cover the makespan"
             );
         }
+    }
+
+    #[test]
+    fn vanilla_ws_algo_matches_numa_ws_scheduler_under_vanilla_knobs() {
+        // The refactor's behavior-preservation check: the dedicated
+        // VanillaWs scheduler and the NumaWs scheduler running on vanilla
+        // knobs draw the same RNG stream (one uniform victim sample, no
+        // coin) and must produce bit-identical runs.
+        let dag = tree_dag(128, 800);
+        let topo = presets::paper_machine();
+        let a = Simulation::new(&topo, SimConfig::vanilla_ws(16), &dag).unwrap().run();
+        let b = Simulation::new(&topo, SimConfig::classic(16), &dag).unwrap().run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.workers, b.workers);
+    }
+
+    #[test]
+    fn epoch_sync_completes_and_counts_waits() {
+        let dag = tree_dag(128, 800);
+        let topo = presets::paper_machine();
+        let r = Simulation::new(&topo, SimConfig::epoch_sync(16), &dag).unwrap().run();
+        assert!(r.counters.steals > 0, "epoch raids still move work");
+        assert!(r.counters.epoch_waits > 0, "idle workers wait at boundaries");
+        // And it is deterministic without any RNG involvement: the seed
+        // must not matter.
+        let s1 =
+            Simulation::new(&topo, SimConfig::epoch_sync(16).with_seed(1), &dag).unwrap().run();
+        let s2 =
+            Simulation::new(&topo, SimConfig::epoch_sync(16).with_seed(2), &dag).unwrap().run();
+        assert_eq!(s1.makespan, s2.makespan);
+        assert_eq!(s1.counters, s2.counters);
+    }
+
+    #[test]
+    fn schedule_log_records_steals_and_executors() {
+        let dag = tree_dag(64, 500);
+        let topo = presets::paper_machine();
+        let cfg = SimConfig::numa_ws(8).with_log_schedule(true);
+        let r = Simulation::new(&topo, cfg.clone(), &dag).unwrap().run();
+        let log = r.schedule.as_ref().expect("logging was enabled");
+        assert_eq!(log.steals.len() as u64, r.counters.steals);
+        assert_eq!(log.executors.len(), dag.num_frames());
+        assert!(log.executors.iter().all(|e| e.is_some()), "every frame finished somewhere");
+        // Same seed, same schedule — the property the golden trace tests
+        // build on.
+        let r2 = Simulation::new(&topo, cfg, &dag).unwrap().run();
+        assert_eq!(r.schedule, r2.schedule);
+        // Off by default.
+        let quiet = Simulation::new(&topo, SimConfig::numa_ws(8), &dag).unwrap().run();
+        assert!(quiet.schedule.is_none());
     }
 }

@@ -36,7 +36,9 @@ mod config;
 mod dag;
 mod engine;
 mod memory;
+mod replay;
 mod report;
+mod scheduler;
 
 pub use config::{SchedCosts, SchedulerKind, SimConfig};
 // The scheduling-policy layer is shared with the real runtime; re-export
@@ -47,5 +49,10 @@ pub use memory::{
     CacheConfig, ContentionModel, FifoCache, LatencyModel, MemorySystem, PageId, PagePolicy,
     Region, RegionId, Touch, LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES, STREAM_DISCOUNT_PCT,
 };
-pub use nws_topology::{CoinFlip, SchedPolicy, SleepPolicy, StealBias};
-pub use report::{Counters, SimReport, WorkerTimes};
+pub use nws_topology::{CoinFlip, SchedAlgo, SchedPolicy, SleepPolicy, StealBias};
+pub use replay::{trace_to_dag, DEFAULT_NS_PER_CYCLE};
+pub use report::{Counters, ScheduleLog, SimReport, WorkerTimes};
+pub use scheduler::{
+    scheduler_for, EpochSyncScheduler, IdleAction, NumaWsScheduler, ReadyAction, SchedView,
+    Scheduler, VanillaWsScheduler,
+};

@@ -43,6 +43,23 @@ pub struct Counters {
     pub suspensions: u64,
     /// Provoked continuations resumed via CHECKPARENT.
     pub parent_resumes: u64,
+    /// Idle waits for an epoch boundary (epoch-sync scheduler only; the
+    /// steal-based schedulers never wait).
+    pub epoch_waits: u64,
+}
+
+/// The exact schedule of one run, recorded when
+/// [`SimConfig::log_schedule`](crate::SimConfig) is set: enough to assert
+/// two runs made identical scheduling decisions, which is how the
+/// record→replay golden tests define determinism.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleLog {
+    /// Successful deque steals in commit order: `(thief, victim, frame)`.
+    pub steals: Vec<(usize, usize, usize)>,
+    /// For each frame, the worker that executed its final step (`None` if
+    /// the run ended before the frame completed — never the case for a
+    /// finished run).
+    pub executors: Vec<Option<usize>>,
 }
 
 /// The result of one simulation run.
@@ -57,6 +74,9 @@ pub struct SimReport {
     /// Lines serviced per latency class:
     /// `[private, llc_local, llc_remote, dram_local, dram_remote]`.
     pub class_lines: [u64; 5],
+    /// The full schedule, present when the run was configured with
+    /// [`SimConfig::log_schedule`](crate::SimConfig).
+    pub schedule: Option<ScheduleLog>,
 }
 
 impl SimReport {
@@ -110,6 +130,7 @@ mod tests {
             ],
             counters: Counters::default(),
             class_lines: [50, 30, 10, 5, 5],
+            schedule: None,
         }
     }
 

@@ -1,0 +1,485 @@
+//! The pluggable scheduling-decision layer of the simulator.
+//!
+//! The engine (`crate::engine`) owns the *mechanisms* — deques, mailboxes,
+//! frame promotion, PUSHBACK delivery, clock accounting — and delegates the
+//! *decisions* to a [`Scheduler`] implementation through three callbacks,
+//! the same shape dslab-dag gives its scheduler plugins:
+//!
+//! - [`on_worker_idle`](Scheduler::on_worker_idle): the worker found no
+//!   local work; pick a victim (and whether to probe its mailbox), or wait.
+//! - [`on_task_ready`](Scheduler::on_task_ready): the worker holds a ready
+//!   full frame; run it here or push it toward its designated place.
+//! - [`on_task_finished`](Scheduler::on_task_finished): bookkeeping hook
+//!   when a frame's last step completes.
+//!
+//! Three implementations ship: [`NumaWsScheduler`] (the paper's Figure 5
+//! decision procedure, parameterized by the [`SchedPolicy`] knobs — with
+//! vanilla knobs it degenerates to Figure 2 exactly), [`VanillaWsScheduler`]
+//! (classic Cilk: uniform victims, deques only, regardless of the knobs),
+//! and [`EpochSyncScheduler`] (a TREES-style deterministic scheduler:
+//! thieves raid the longest deque and idle workers wait for epoch
+//! boundaries instead of spinning on random probes — no RNG at all).
+//! [`scheduler_for`] maps a [`SchedAlgo`](nws_topology::SchedAlgo) to the
+//! matching implementation; the selection travels inside [`SchedPolicy`],
+//! so one `policy_sweep` grid drives all three.
+
+use crate::dag::{Dag, FrameId};
+use nws_topology::{
+    CoinFlip, Place, SchedAlgo, SchedPolicy, StealDistribution, Topology, WorkerMap,
+};
+use rand::rngs::SmallRng;
+use rand::RngCore;
+use std::collections::VecDeque;
+
+/// A ready continuation: a frame plus the step index to resume at (the
+/// engine's deque/mailbox element).
+pub(crate) type Cont = (usize, u32);
+
+/// Decision for a ready full frame ([`Scheduler::on_task_ready`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadyAction {
+    /// Execute the frame on the deciding worker.
+    Run,
+    /// Start a PUSHBACK episode toward the frame's designated place; if
+    /// delivery fails past the policy threshold the engine runs the frame
+    /// on the deciding worker anyway (load balancing beats placement).
+    PushBack,
+}
+
+/// Decision for an idle worker ([`Scheduler::on_worker_idle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleAction {
+    /// Probe `victim` (deque, and its mailbox first when `try_mailbox`).
+    Steal {
+        /// The worker to probe.
+        victim: usize,
+        /// Inspect the victim's mailbox before its deque (the coin flip
+        /// came up mailbox).
+        try_mailbox: bool,
+    },
+    /// Do nothing until the worker's clock reaches `until` (an epoch
+    /// boundary); the engine charges the gap as idle time.
+    Wait {
+        /// Absolute cycle count to sleep until (clamped forward by the
+        /// engine so time always advances).
+        until: u64,
+    },
+}
+
+/// Read-only window onto the engine state a scheduler may consult.
+///
+/// Decisions see queue *lengths* and clocks, never the queued continuations
+/// themselves — the engine alone moves frames, which is what keeps every
+/// implementation trivially deadlock-free on the mechanism level.
+pub struct SchedView<'e> {
+    policy: &'e SchedPolicy,
+    dists: &'e [Option<StealDistribution>],
+    deques: &'e [VecDeque<Cont>],
+    mailboxes: &'e [VecDeque<Cont>],
+    clocks: &'e [u64],
+    dag: &'e Dag,
+    map: &'e WorkerMap,
+}
+
+impl<'e> SchedView<'e> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        policy: &'e SchedPolicy,
+        dists: &'e [Option<StealDistribution>],
+        deques: &'e [VecDeque<Cont>],
+        mailboxes: &'e [VecDeque<Cont>],
+        clocks: &'e [u64],
+        dag: &'e Dag,
+        map: &'e WorkerMap,
+    ) -> Self {
+        SchedView { policy, dists, deques, mailboxes, clocks, dag, map }
+    }
+
+    /// The scheduling policy (knobs) of this run.
+    pub fn policy(&self) -> &SchedPolicy {
+        self.policy
+    }
+
+    /// Number of simulated workers.
+    pub fn num_workers(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The policy-built victim distribution for worker `w` (`None` for a
+    /// lone worker, who has nobody to steal from).
+    pub fn victim_distribution(&self, w: usize) -> Option<&StealDistribution> {
+        self.dists[w].as_ref()
+    }
+
+    /// Entries currently in worker `w`'s deque.
+    pub fn deque_len(&self, w: usize) -> usize {
+        self.deques[w].len()
+    }
+
+    /// Entries currently in worker `w`'s mailbox.
+    pub fn mailbox_len(&self, w: usize) -> usize {
+        self.mailboxes[w].len()
+    }
+
+    /// Worker `w`'s local clock, in cycles.
+    pub fn clock(&self, w: usize) -> u64 {
+        self.clocks[w]
+    }
+
+    /// The place hint of `frame`.
+    pub fn frame_place(&self, frame: usize) -> Place {
+        self.dag.frame(FrameId(frame)).place
+    }
+
+    /// Is `frame` hinted for somewhere other than worker `w`'s place?
+    /// (`ANY` is never foreign; hints wrap modulo the place count.)
+    pub fn is_foreign(&self, w: usize, frame: usize) -> bool {
+        let p = self.frame_place(frame);
+        match p.index() {
+            None => false,
+            Some(i) => i % self.map.num_places() != self.map.place_of(w).0,
+        }
+    }
+}
+
+/// A scheduling algorithm the engine consults at its decision points.
+///
+/// Implementations must be deterministic functions of `(their own state,
+/// the view, the rng)` — the engine serializes callbacks in min-clock
+/// order, so a deterministic scheduler makes whole runs reproducible
+/// (`SimConfig::seed` pins the rng streams).
+pub trait Scheduler {
+    /// Short stable identifier (used in sweep tables and reports).
+    fn name(&self) -> &'static str;
+
+    /// The worker holds a ready full frame (just promoted by a steal, or
+    /// resumed at a sync): run it locally or push it toward its place.
+    fn on_task_ready(
+        &mut self,
+        w: usize,
+        frame: usize,
+        view: &SchedView<'_>,
+        rng: &mut SmallRng,
+    ) -> ReadyAction;
+
+    /// The worker found nothing local (deque and own mailbox empty): pick
+    /// a victim to probe, or wait for a time boundary.
+    fn on_worker_idle(&mut self, w: usize, view: &SchedView<'_>, rng: &mut SmallRng) -> IdleAction;
+
+    /// A frame executed its last step on worker `w` (bookkeeping hook;
+    /// default no-op).
+    fn on_task_finished(&mut self, _w: usize, _frame: usize, _view: &SchedView<'_>) {}
+}
+
+/// The NUMA-WS decision procedure (paper Figure 5), fully parameterized by
+/// the policy knobs: victim bias via the policy-built distributions, the
+/// deque/mailbox coin flip, and PUSHBACK for foreign frames. With vanilla
+/// knobs (uniform bias, no mailboxes) it makes exactly the classic Figure 2
+/// decisions — one uniform victim draw, nothing else — which is what keeps
+/// the pre-PR ablation grid bit-identical under this refactor.
+#[derive(Debug, Default)]
+pub struct NumaWsScheduler;
+
+impl Scheduler for NumaWsScheduler {
+    fn name(&self) -> &'static str {
+        SchedAlgo::NumaWs.name()
+    }
+
+    fn on_task_ready(
+        &mut self,
+        w: usize,
+        frame: usize,
+        view: &SchedView<'_>,
+        _rng: &mut SmallRng,
+    ) -> ReadyAction {
+        if view.policy().uses_mailboxes() && view.is_foreign(w, frame) {
+            ReadyAction::PushBack
+        } else {
+            ReadyAction::Run
+        }
+    }
+
+    fn on_worker_idle(&mut self, w: usize, view: &SchedView<'_>, rng: &mut SmallRng) -> IdleAction {
+        // Draw order matters for cross-substrate determinism: victim
+        // sample first, then the coin — the same order the real runtime's
+        // steal_once uses, so a seeded run picks identical victims on both
+        // substrates.
+        let dist =
+            view.victim_distribution(w).expect("a lone worker never enters the scheduling loop");
+        let victim = dist.sample(rng.next_u64());
+        let try_mailbox = view.policy().uses_mailboxes()
+            && match view.policy().coin_flip {
+                CoinFlip::Fair => rng.next_u64() & 1 == 0,
+                CoinFlip::MailboxFirst => true,
+                CoinFlip::DequeOnly => false,
+            };
+        IdleAction::Steal { victim, try_mailbox }
+    }
+}
+
+/// Classic Cilk work stealing (paper Figure 2) as a *separate* algorithm:
+/// uniform victim selection and deque-only steals **regardless of the
+/// policy knobs**, so a sweep can pair NUMA knobs with a scheduler that
+/// ignores them (the "what if only the runtime mechanisms were NUMA-aware"
+/// cell). Distinct from running [`NumaWsScheduler`] with vanilla knobs,
+/// which reaches the same decisions only because the knobs are vanilla.
+#[derive(Debug)]
+pub struct VanillaWsScheduler {
+    /// Uniform distributions, built at construction — deliberately not the
+    /// policy's (possibly biased) ones.
+    dists: Vec<Option<StealDistribution>>,
+}
+
+impl VanillaWsScheduler {
+    /// Uniform victim distributions over `map`'s workers.
+    pub fn new(topo: &Topology, map: &WorkerMap) -> Self {
+        let uniform = SchedPolicy::vanilla();
+        let dists =
+            (0..map.num_workers()).map(|w| uniform.victim_distribution(topo, map, w)).collect();
+        VanillaWsScheduler { dists }
+    }
+}
+
+impl Scheduler for VanillaWsScheduler {
+    fn name(&self) -> &'static str {
+        SchedAlgo::VanillaWs.name()
+    }
+
+    fn on_task_ready(
+        &mut self,
+        _w: usize,
+        _frame: usize,
+        _view: &SchedView<'_>,
+        _rng: &mut SmallRng,
+    ) -> ReadyAction {
+        ReadyAction::Run
+    }
+
+    fn on_worker_idle(
+        &mut self,
+        w: usize,
+        _view: &SchedView<'_>,
+        rng: &mut SmallRng,
+    ) -> IdleAction {
+        let dist = self.dists[w].as_ref().expect("a lone worker never enters the scheduling loop");
+        IdleAction::Steal { victim: dist.sample(rng.next_u64()), try_mailbox: false }
+    }
+}
+
+/// A TREES-style epoch-synchronized scheduler: deterministic and RNG-free.
+/// An idle worker raids the *longest* deque (ties to the lowest index);
+/// when no deque has work it waits until the next multiple of
+/// `epoch_cycles` rather than re-probing — the bulk-synchronous idle
+/// pattern energy-oriented runtimes use to keep idle cores quiescent
+/// between scheduling rounds. Sim-only: the real runtime has no global
+/// clock to synchronize epochs against (see DESIGN.md §8).
+#[derive(Debug)]
+pub struct EpochSyncScheduler {
+    epoch_cycles: u64,
+}
+
+impl EpochSyncScheduler {
+    /// An epoch scheduler with the given epoch length (clamped to >= 1).
+    pub fn new(epoch_cycles: u64) -> Self {
+        EpochSyncScheduler { epoch_cycles: epoch_cycles.max(1) }
+    }
+}
+
+impl Scheduler for EpochSyncScheduler {
+    fn name(&self) -> &'static str {
+        SchedAlgo::EpochSync.name()
+    }
+
+    fn on_task_ready(
+        &mut self,
+        _w: usize,
+        _frame: usize,
+        _view: &SchedView<'_>,
+        _rng: &mut SmallRng,
+    ) -> ReadyAction {
+        ReadyAction::Run
+    }
+
+    fn on_worker_idle(
+        &mut self,
+        w: usize,
+        view: &SchedView<'_>,
+        _rng: &mut SmallRng,
+    ) -> IdleAction {
+        let mut best: Option<(usize, usize)> = None; // (len, victim)
+        for v in 0..view.num_workers() {
+            if v == w {
+                continue;
+            }
+            let len = view.deque_len(v);
+            // Strict `>` keeps ties at the lowest index: deterministic.
+            if len > 0 && best.is_none_or(|(l, _)| len > l) {
+                best = Some((len, v));
+            }
+        }
+        match best {
+            Some((_, victim)) => IdleAction::Steal { victim, try_mailbox: false },
+            None => {
+                let e = self.epoch_cycles;
+                IdleAction::Wait { until: (view.clock(w) / e + 1) * e }
+            }
+        }
+    }
+}
+
+/// The scheduler implementation a policy selects (via
+/// [`SchedPolicy::algo`]); the engine calls this once per run.
+pub fn scheduler_for(policy: &SchedPolicy, topo: &Topology, map: &WorkerMap) -> Box<dyn Scheduler> {
+    match policy.algo {
+        SchedAlgo::NumaWs => Box::new(NumaWsScheduler),
+        SchedAlgo::VanillaWs => Box::new(VanillaWsScheduler::new(topo, map)),
+        SchedAlgo::EpochSync => Box::new(EpochSyncScheduler::new(policy.epoch_cycles)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nws_topology::{presets, Placement};
+    use rand::SeedableRng;
+
+    fn fixture() -> (Topology, WorkerMap) {
+        let topo = presets::paper_machine();
+        let map = Placement::Packed.assign(&topo, 8).unwrap();
+        (topo, map)
+    }
+
+    fn empty_dag() -> Dag {
+        let mut b = crate::dag::DagBuilder::new();
+        let root = b.frame(Place::ANY).compute(1).finish();
+        b.build(root)
+    }
+
+    #[test]
+    fn factory_matches_algo() {
+        let (topo, map) = fixture();
+        for (algo, name) in [
+            (SchedAlgo::NumaWs, "numa-ws"),
+            (SchedAlgo::VanillaWs, "vanilla-ws"),
+            (SchedAlgo::EpochSync, "epoch-sync"),
+        ] {
+            let policy = SchedPolicy::numa_ws().with_algo(algo);
+            assert_eq!(scheduler_for(&policy, &topo, &map).name(), name);
+        }
+    }
+
+    #[test]
+    fn epoch_sync_raids_longest_deque_and_waits_on_empty() {
+        let (topo, map) = fixture();
+        let policy = SchedPolicy::epoch_sync().with_epoch_cycles(1000);
+        let dists: Vec<_> = (0..8).map(|w| policy.victim_distribution(&topo, &map, w)).collect();
+        let mut deques: Vec<VecDeque<Cont>> = (0..8).map(|_| VecDeque::new()).collect();
+        deques[3].push_back((0, 0));
+        deques[5].push_back((0, 0));
+        deques[5].push_back((0, 1));
+        let mailboxes: Vec<VecDeque<Cont>> = (0..8).map(|_| VecDeque::new()).collect();
+        let clocks = vec![2_500u64; 8];
+        let dag = empty_dag();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut s = EpochSyncScheduler::new(1000);
+
+        let view = SchedView::new(&policy, &dists, &deques, &mailboxes, &clocks, &dag, &map);
+        assert_eq!(
+            s.on_worker_idle(0, &view, &mut rng),
+            IdleAction::Steal { victim: 5, try_mailbox: false },
+            "worker 5 has the longest deque"
+        );
+        deques[5].clear();
+        deques[3].clear();
+        let view = SchedView::new(&policy, &dists, &deques, &mailboxes, &clocks, &dag, &map);
+        assert_eq!(
+            s.on_worker_idle(0, &view, &mut rng),
+            IdleAction::Wait { until: 3_000 },
+            "no work anywhere: wait for the next epoch boundary"
+        );
+    }
+
+    #[test]
+    fn epoch_sync_breaks_ties_to_lowest_index() {
+        let (topo, map) = fixture();
+        let policy = SchedPolicy::epoch_sync();
+        let dists: Vec<_> = (0..8).map(|w| policy.victim_distribution(&topo, &map, w)).collect();
+        let mut deques: Vec<VecDeque<Cont>> = (0..8).map(|_| VecDeque::new()).collect();
+        deques[2].push_back((0, 0));
+        deques[6].push_back((0, 0));
+        let mailboxes: Vec<VecDeque<Cont>> = (0..8).map(|_| VecDeque::new()).collect();
+        let clocks = vec![0u64; 8];
+        let dag = empty_dag();
+        let view = SchedView::new(&policy, &dists, &deques, &mailboxes, &clocks, &dag, &map);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut s = EpochSyncScheduler::new(64);
+        assert_eq!(
+            s.on_worker_idle(4, &view, &mut rng),
+            IdleAction::Steal { victim: 2, try_mailbox: false }
+        );
+    }
+
+    #[test]
+    fn vanilla_ignores_numa_knobs() {
+        let (topo, map) = fixture();
+        // Even under full NUMA-WS knobs, VanillaWs never asks for a
+        // mailbox probe and never pushes back.
+        let policy = SchedPolicy::numa_ws().with_algo(SchedAlgo::VanillaWs);
+        let dists: Vec<_> = (0..8).map(|w| policy.victim_distribution(&topo, &map, w)).collect();
+        let deques: Vec<VecDeque<Cont>> = (0..8).map(|_| VecDeque::new()).collect();
+        let mailboxes = deques.clone();
+        let clocks = vec![0u64; 8];
+        let dag = {
+            let mut b = crate::dag::DagBuilder::new();
+            let root = b.frame(Place(3)).compute(1).finish();
+            b.build(root)
+        };
+        let view = SchedView::new(&policy, &dists, &deques, &mailboxes, &clocks, &dag, &map);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut s = VanillaWsScheduler::new(&topo, &map);
+        assert_eq!(s.on_task_ready(0, 0, &view, &mut rng), ReadyAction::Run, "frame 0 is foreign");
+        for _ in 0..32 {
+            match s.on_worker_idle(0, &view, &mut rng) {
+                IdleAction::Steal { try_mailbox, .. } => assert!(!try_mailbox),
+                IdleAction::Wait { .. } => panic!("vanilla never waits"),
+            }
+        }
+    }
+
+    #[test]
+    fn numa_ws_pushes_foreign_frames_only_with_mailboxes() {
+        // Spread over all four sockets so a Place(3) hint really is
+        // foreign to worker 0 (packed 8 workers would share one place).
+        let topo = presets::paper_machine();
+        let map = Placement::Spread { sockets: 4 }.assign(&topo, 8).unwrap();
+        let dag = {
+            let mut b = crate::dag::DagBuilder::new();
+            let foreign = b.frame(Place(3)).compute(1).finish();
+            let local = b.frame(Place::ANY).spawn(foreign).sync().finish();
+            b.build(local)
+        };
+        let deques: Vec<VecDeque<Cont>> = (0..8).map(|_| VecDeque::new()).collect();
+        let mailboxes = deques.clone();
+        let clocks = vec![0u64; 8];
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut s = NumaWsScheduler;
+
+        let numa = SchedPolicy::numa_ws();
+        let dists: Vec<_> = (0..8).map(|w| numa.victim_distribution(&topo, &map, w)).collect();
+        let view = SchedView::new(&numa, &dists, &deques, &mailboxes, &clocks, &dag, &map);
+        assert_eq!(s.on_task_ready(0, 0, &view, &mut rng), ReadyAction::PushBack);
+        assert_eq!(
+            s.on_task_ready(0, 1, &view, &mut rng),
+            ReadyAction::Run,
+            "ANY is never foreign"
+        );
+
+        let vanilla = SchedPolicy::vanilla();
+        let view = SchedView::new(&vanilla, &dists, &deques, &mailboxes, &clocks, &dag, &map);
+        assert_eq!(
+            s.on_task_ready(0, 0, &view, &mut rng),
+            ReadyAction::Run,
+            "no mailboxes, no pushback"
+        );
+    }
+}

@@ -43,6 +43,8 @@ mod topology;
 pub use distance::DistanceMatrix;
 pub use ids::{CoreId, Place, SocketId};
 pub use placement::{Placement, WorkerMap};
-pub use policy::{worker_rng_seed, CoinFlip, SchedPolicy, SleepPolicy, SplitMix64, StealBias};
+pub use policy::{
+    worker_rng_seed, CoinFlip, SchedAlgo, SchedPolicy, SleepPolicy, SplitMix64, StealBias,
+};
 pub use steal::StealDistribution;
 pub use topology::{Topology, TopologyBuilder, TopologyError};

@@ -22,6 +22,9 @@
 //! - [`metrics`] — work/scheduling/idle breakdowns and table rendering
 //!   ([`nws_metrics`]).
 //! - [`deque`] — the Cilk-5 THE-protocol deque ([`nws_deque`]).
+//! - [`trace`] — the compact DAG trace format behind the runtime's
+//!   `PoolBuilder::record_trace` and the simulator's `trace_to_dag`
+//!   replay ([`nws_trace`]).
 //!
 //! # Quickstart
 //!
@@ -45,3 +48,4 @@ pub use nws_layout as layout;
 pub use nws_metrics as metrics;
 pub use nws_sim as sim;
 pub use nws_topology as topology;
+pub use nws_trace as trace;

@@ -95,7 +95,82 @@ fn policy_presets_roundtrip_their_encoding() {
         let parsed: SchedPolicy = policy.to_string().parse().unwrap();
         assert_eq!(parsed, policy);
     }
+    for (_, policy) in SchedPolicy::scheduler_grid() {
+        let parsed: SchedPolicy = policy.to_string().parse().unwrap();
+        assert_eq!(parsed, policy, "scheduler selection must survive the round-trip");
+    }
     let custom = SchedPolicy::numa_ws().with_mailbox_capacity(8).with_bias(StealBias::Uniform);
     let parsed: SchedPolicy = custom.to_string().parse().unwrap();
     assert_eq!(parsed, custom);
+}
+
+// ---------------------------------------------------------------------------
+// Record → replay: the golden determinism loop
+// ---------------------------------------------------------------------------
+
+use numa_ws_repro::runtime::Pool;
+use numa_ws_repro::sim::{trace_to_dag, ScheduleLog, SimConfig, Simulation};
+use numa_ws_repro::trace::Trace;
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = numa_ws_repro::runtime::join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+/// Records `work` on a real 4-worker pool and returns the trace.
+fn record_on_pool(label: &str, work: impl FnOnce() + Send) -> Trace {
+    let pool = Pool::builder().workers(4).places(2).seed(SEED).record_trace(true).build().unwrap();
+    pool.install(work);
+    let trace = pool.take_trace(label).expect("recording was enabled");
+    trace.validate().expect("recorded trace is well-formed");
+    trace
+}
+
+/// Replays `trace` once under `policy` with schedule logging; the log *is*
+/// the schedule: `steals` carries the (thief, victim, frame) sequence in
+/// commit order, `executors` the final placement of every frame.
+fn replay(trace: &Trace, policy: &SchedPolicy) -> ScheduleLog {
+    let topo = presets::paper_machine();
+    let dag = trace_to_dag(trace, 1);
+    let cfg = SimConfig::with_policy(*policy, 8).with_seed(SEED).with_log_schedule(true);
+    Simulation::new(&topo, cfg, &dag).expect("8 workers fit").run().schedule.expect("logged")
+}
+
+#[test]
+fn recorded_fib_replays_with_identical_victims_and_placements() {
+    let trace = record_on_pool("golden-fib", || {
+        assert_eq!(fib(10), 55);
+    });
+    // fib(10)'s call tree has 88 internal calls; each join pushes one job,
+    // plus the install root: 89 recorded tasks, every run.
+    assert_eq!(trace.tasks.len(), 89);
+    for (name, policy) in SchedPolicy::scheduler_grid() {
+        let a = replay(&trace, &policy);
+        let b = replay(&trace, &policy);
+        assert_eq!(a.steals, b.steals, "{name}: victim sequence must be identical");
+        assert_eq!(a.executors, b.executors, "{name}: placements must be identical");
+        assert!(a.executors.iter().all(Option::is_some), "{name}: every frame ran");
+    }
+}
+
+#[test]
+fn recorded_cilksort_replays_with_identical_victims_and_placements() {
+    use numa_ws_repro::apps::{cilksort, common};
+    let params = cilksort::Params::test();
+    let mut keys = common::random_keys(4096, SEED);
+    let mut tmp = vec![0u64; keys.len()];
+    let trace = record_on_pool("golden-cilksort", || {
+        cilksort::sort_parallel(&mut keys, &mut tmp, params, 2);
+    });
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "the sort must have sorted");
+    assert!(trace.num_started() > 1, "the sort must actually fork");
+    for (name, policy) in SchedPolicy::scheduler_grid() {
+        let a = replay(&trace, &policy);
+        let b = replay(&trace, &policy);
+        assert_eq!(a.steals, b.steals, "{name}: victim sequence must be identical");
+        assert_eq!(a.executors, b.executors, "{name}: placements must be identical");
+    }
 }
