@@ -221,6 +221,9 @@ pub fn counters_of_pool(stats: &numa_ws::PoolStats) -> nws_metrics::SchedCounter
         wakeups: Some(stats.total_wakeups()),
         scope_spawns: Some(stats.total_scope_spawns()),
         epoch_waits: None,
+        job_panics: Some(stats.total_job_panics()),
+        ingress_rejects: Some(stats.ingress_rejects),
+        sheds: Some(stats.sheds),
     }
 }
 
@@ -243,6 +246,9 @@ pub fn counters_of_sim(dag: &Dag, report: &SimReport) -> nws_metrics::SchedCount
         wakeups: None,
         scope_spawns: None,
         epoch_waits: Some(report.counters.epoch_waits),
+        job_panics: None,
+        ingress_rejects: None,
+        sheds: None,
     }
 }
 

@@ -208,8 +208,10 @@ where
 /// [`Pool::spawn`](crate::Pool::spawn) / `spawn_at`, where no caller stack
 /// frame outlives the submission. The box frees itself on execution, so
 /// unlike [`StackJob`] there is no owner to report back to: results go
-/// through whatever channel the closure captures, and a panic is caught and
-/// discarded (the pool must survive a panicking spawn).
+/// through whatever channel the closure captures, and a panic is caught —
+/// the pool must survive a panicking spawn — then counted and routed to the
+/// pool's panic handler (see `registry::note_job_panic`) instead of being
+/// silently discarded.
 pub(crate) struct HeapJob<F> {
     func: F,
 }
@@ -235,6 +237,26 @@ where
     pub(crate) unsafe fn into_job_ref(self: Box<Self>, place: Place) -> JobRef {
         JobRef::new(Box::into_raw(self), place)
     }
+
+    /// Reclaims the box behind a [`JobRef`] that was handed back unqueued
+    /// (a bounded-ingress rejection), undoing [`into_job_ref`]'s leak
+    /// without executing the closure.
+    ///
+    /// # Safety
+    ///
+    /// `job` must have been produced by `into_job_ref` on a `HeapJob<F>`
+    /// with this exact `F`, never executed, and visible to no other thread
+    /// (every queue it was offered to rejected it).
+    ///
+    /// [`into_job_ref`]: HeapJob::into_job_ref
+    pub(crate) unsafe fn reclaim_unexecuted(job: JobRef) -> Box<Self> {
+        Box::from_raw(job.id() as *mut Self)
+    }
+
+    /// Unwraps the closure (to hand back to a `try_spawn` caller).
+    pub(crate) fn into_func(self) -> F {
+        self.func
+    }
 }
 
 impl<F> Job for HeapJob<F>
@@ -244,7 +266,12 @@ where
     unsafe fn execute(this: *const ()) {
         // Reclaim the box; its closure runs (and drops) here.
         let this = Box::from_raw(this as *mut Self);
-        let _ = panic::catch_unwind(AssertUnwindSafe(this.func));
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(this.func)) {
+            // A fire-and-forget job has no joiner to rethrow at, but the
+            // payload is not silently discarded either: it is counted
+            // (`job_panics`) and routed to the pool's `panic_handler` hook.
+            crate::registry::note_job_panic(payload);
+        }
         // No latch to publish through, but flush anyway so counters bumped
         // by a fire-and-forget job are visible as soon as any effect of the
         // job (e.g. a channel send it performed) is.

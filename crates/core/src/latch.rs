@@ -142,12 +142,21 @@ impl LockLatch {
         Self::default()
     }
 
-    /// Blocks until the latch is set.
-    pub(crate) fn wait(&self) {
+    /// Blocks until the latch is set or `timeout` elapses; returns whether
+    /// the latch is set. Used by `Pool::install`'s poisoning-aware wait: the
+    /// caller loops, interleaving bounded waits with pool-health checks, so
+    /// a pool whose workers all died cannot strand it forever.
+    pub(crate) fn wait_for(&self, timeout: std::time::Duration) -> bool {
         let mut guard = self.mutex.lock();
-        while !*guard {
-            self.cond.wait(&mut guard);
+        if !*guard {
+            let _ = self.cond.wait_for(&mut guard, timeout);
         }
+        *guard
+    }
+
+    /// Whether the latch has been set (non-blocking).
+    pub(crate) fn probe(&self) -> bool {
+        *self.mutex.lock()
     }
 }
 
@@ -202,15 +211,21 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(20));
             l2.set();
         });
-        l.wait(); // must return
+        // Poll as install does: bounded waits until the latch lands.
+        while !l.wait_for(std::time::Duration::from_millis(50)) {}
         t.join().unwrap();
     }
 
     #[test]
-    fn lock_latch_wait_after_set_returns_immediately() {
+    fn lock_latch_wait_for_times_out_then_succeeds() {
         let l = LockLatch::new();
+        assert!(!l.probe());
+        let start = std::time::Instant::now();
+        assert!(!l.wait_for(std::time::Duration::from_millis(10)), "unset latch must time out");
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
         l.set();
-        l.wait();
+        assert!(l.probe());
+        assert!(l.wait_for(std::time::Duration::from_secs(5)), "set latch returns immediately");
     }
 
     #[test]

@@ -37,6 +37,15 @@
 //! progress together, with no single-worker ingress bottleneck and no
 //! busy-wait while the pool is idle. See DESIGN.md §2.
 //!
+//! The service posture extends to overload and failure: ingress queues can
+//! be bounded ([`PoolBuilder::ingress_capacity`], [`Pool::try_spawn`],
+//! [`OverflowPolicy`]), fire-and-forget job panics are caught, counted, and
+//! routed to a [`PoolBuilder::panic_handler`], and a panic in *runtime*
+//! code poisons the pool ([`PoisonedPool`]) — it drains and shuts down
+//! instead of deadlocking its callers. A deterministic fault-injection tier
+//! (`nws_sync::fault`, compiled in under `--cfg nws_fault`) exercises all
+//! of this in CI. See DESIGN.md §9.
+//!
 //! ## What differs from the paper (and why)
 //!
 //! Cilk's continuation stealing requires compiler-managed cactus stacks;
@@ -92,7 +101,7 @@ mod scope;
 mod sleep;
 mod stats;
 
-pub use config::{BuildPoolError, SchedulerMode};
+pub use config::{BuildPoolError, OverflowPolicy, PoisonedPool, SchedulerMode};
 pub use join::{join, join4, join4_at, join_at};
 pub use par_for::{par_for, par_for_banded};
 pub use pool::{Pool, PoolBuilder};

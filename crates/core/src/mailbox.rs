@@ -35,7 +35,7 @@
 //! around them.
 
 use crate::job::JobRef;
-use nws_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use nws_sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use nws_topology::Place;
 use std::ptr;
 
@@ -82,17 +82,40 @@ impl Slot {
 #[derive(Debug)]
 pub(crate) struct Mailbox {
     slots: Box<[Slot]>,
+    /// Set when the pool is poisoned: [`Drop`] then *leaks* leftovers
+    /// instead of executing them. After a worker dies, a parked `JobRef`
+    /// can be a stack job whose owner frame was abandoned (the install
+    /// poll's poisoned path) — executing it at registry drop would be a
+    /// use-after-free. Leak-not-execute is the safe degradation; the chaos
+    /// tier's conservation checks tolerate it (executed ≤ accepted).
+    disarmed: AtomicBool,
 }
 
 impl Mailbox {
     pub(crate) fn new(capacity: usize) -> Self {
-        Mailbox { slots: (0..capacity).map(|_| Slot::new()).collect() }
+        Mailbox {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            disarmed: AtomicBool::new(false),
+        }
+    }
+
+    /// Stops [`Drop`] from executing leftovers (the poisoning path).
+    pub(crate) fn disarm(&self) {
+        self.disarmed.store(true, Ordering::SeqCst);
     }
 
     /// Attempts to deposit `job` into any free slot. Fails (returning the
     /// job back) if every slot is occupied — the PUSHBACK protocol then
     /// retries elsewhere.
     pub(crate) fn try_deposit(&self, job: JobRef) -> Result<(), JobRef> {
+        // Chaos-tier fault point (no-op in default builds): `fail` forces a
+        // deposit rejection, exercising the PUSHBACK retry/keep paths. It
+        // fires before the box allocation, so a `panic` action unwinds with
+        // nothing leaked and the job still owned by the caller (which
+        // catches it — see `WorkerThread::pushback`).
+        if nws_sync::fault::hit("mailbox.deposit") {
+            return Err(job);
+        }
         if self.slots.is_empty() {
             return Err(job);
         }
@@ -180,6 +203,11 @@ impl Mailbox {
 
 impl Drop for Mailbox {
     fn drop(&mut self) {
+        // Poisoned pool: leak leftovers rather than execute a ref whose
+        // owning frame may be gone (see the `disarmed` field docs).
+        if self.disarmed.load(Ordering::SeqCst) {
+            return;
+        }
         // Execute — don't leak — leftover deposits. By the time the
         // registry (and with it this mailbox) drops, every worker has
         // exited, so a job still parked here can only be a self-contained
@@ -371,6 +399,18 @@ mod tests {
         }
         drop(m);
         assert_eq!(j.0.load(Ordering::SeqCst), 4, "all parked deposits must run");
+    }
+
+    #[test]
+    fn disarmed_drop_leaks_instead_of_executing() {
+        // The poisoning degradation: a disarmed mailbox must never execute
+        // a parked ref at drop (its frame may be dead); leaking is safe.
+        let j = CountJob(AtomicUsize::new(0));
+        let m = Mailbox::new(1);
+        m.try_deposit(job_ref(&j, Place(0))).unwrap();
+        m.disarm();
+        drop(m);
+        assert_eq!(j.0.load(Ordering::SeqCst), 0, "disarmed drop must not execute");
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! The worker pool: construction, installation of root computations, and
 //! teardown.
 
-use crate::config::{BuildPoolError, SchedulerMode};
+use crate::config::{BuildPoolError, OverflowPolicy, PoisonedPool, SchedulerMode};
 use crate::job::{HeapJob, StackJob};
 use crate::latch::LockLatch;
-use crate::registry::{worker_main, Registry, WorkerThread};
+use crate::registry::{worker_main, Inject, PanicHandler, Registry, RegistryOptions, WorkerThread};
 use crate::stats::PoolStats;
 use nws_topology::{Place, Placement, SchedPolicy, Topology, WorkerMap};
+use std::any::Any;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A NUMA-WS worker pool.
 ///
@@ -51,7 +53,7 @@ impl std::fmt::Debug for Pool {
 }
 
 /// Configures and builds a [`Pool`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PoolBuilder {
     workers: usize,
     places: usize,
@@ -61,6 +63,27 @@ pub struct PoolBuilder {
     stats_enabled: bool,
     deque_capacity: usize,
     record_trace: bool,
+    ingress_capacity: Option<usize>,
+    overflow: OverflowPolicy,
+    panic_handler: Option<PanicHandler>,
+}
+
+impl std::fmt::Debug for PoolBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolBuilder")
+            .field("workers", &self.workers)
+            .field("places", &self.places)
+            .field("policy", &self.policy)
+            .field("topology", &self.topology)
+            .field("seed", &self.seed)
+            .field("stats_enabled", &self.stats_enabled)
+            .field("deque_capacity", &self.deque_capacity)
+            .field("record_trace", &self.record_trace)
+            .field("ingress_capacity", &self.ingress_capacity)
+            .field("overflow", &self.overflow)
+            .field("panic_handler", &self.panic_handler.as_ref().map(|_| "<handler>"))
+            .finish()
+    }
 }
 
 impl Default for PoolBuilder {
@@ -77,6 +100,9 @@ impl Default for PoolBuilder {
             stats_enabled: true,
             deque_capacity: 8192,
             record_trace: false,
+            ingress_capacity: None,
+            overflow: OverflowPolicy::Block,
+            panic_handler: None,
         }
     }
 }
@@ -161,6 +187,39 @@ impl PoolBuilder {
         self
     }
 
+    /// Bounds each per-place ingress queue to `cap` pending jobs (the
+    /// service-scale posture: external submission backpressure instead of
+    /// unbounded queue growth). What happens at the bound is decided per
+    /// entry point: [`Pool::install`] waits for space,
+    /// [`Pool::try_spawn`] hands the closure back, and [`Pool::spawn`]
+    /// follows [`overflow`](PoolBuilder::overflow). Unbounded by default.
+    pub fn ingress_capacity(&mut self, cap: usize) -> &mut Self {
+        self.ingress_capacity = Some(cap);
+        self
+    }
+
+    /// What [`Pool::spawn`] does when a bounded ingress queue is full:
+    /// block for space (default) or shed the job. Meaningless without
+    /// [`ingress_capacity`](PoolBuilder::ingress_capacity).
+    pub fn overflow(&mut self, policy: OverflowPolicy) -> &mut Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Installs a hook invoked (on the panicking worker's thread) with the
+    /// payload of every caught fire-and-forget job panic — [`Pool::spawn`]
+    /// closures have no caller to unwind into, so without a handler the
+    /// payload is dropped after being counted (see
+    /// [`WorkerStatsSnapshot::job_panics`](crate::WorkerStatsSnapshot::job_panics)).
+    /// A panic inside the handler itself is caught and discarded.
+    pub fn panic_handler<H>(&mut self, handler: H) -> &mut Self
+    where
+        H: Fn(Box<dyn Any + Send>) + Send + Sync + 'static,
+    {
+        self.panic_handler = Some(Arc::new(handler));
+        self
+    }
+
     /// Builds the pool and starts its workers.
     ///
     /// # Errors
@@ -192,11 +251,16 @@ impl PoolBuilder {
         let (registry, owners) = Registry::new(
             topo,
             map,
-            self.policy,
-            self.stats_enabled,
-            self.deque_capacity,
-            self.seed,
-            self.record_trace,
+            RegistryOptions {
+                policy: self.policy,
+                stats_enabled: self.stats_enabled,
+                deque_capacity: self.deque_capacity,
+                seed: self.seed,
+                record_trace: self.record_trace,
+                ingress_capacity: self.ingress_capacity,
+                overflow: self.overflow,
+                panic_handler: self.panic_handler.clone(),
+            },
         );
         let mut handles = Vec::with_capacity(self.workers);
         for (index, deque) in owners.into_iter().enumerate() {
@@ -268,6 +332,14 @@ impl Pool {
     /// it starve.
     ///
     /// The blocking-hazard note on [`install`](Pool::install) applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`PoisonedPool`] payload if the pool is (or becomes)
+    /// poisoned — a worker died from a panic in runtime code — and the root
+    /// can no longer complete. A root that the draining workers *do* finish
+    /// still returns normally. Panics from `f` itself propagate unchanged,
+    /// without poisoning the pool.
     pub fn install_at<F, R>(&self, place: Place, f: F) -> R
     where
         F: FnOnce() -> R + Send,
@@ -278,12 +350,50 @@ impl Pool {
                 return f();
             }
         }
+        if self.registry.is_poisoned() {
+            std::panic::panic_any(PoisonedPool::new(self.registry.poison_message()));
+        }
         let job = StackJob::new(LockLatch::new(), f);
-        // SAFETY: we block on the latch below, so the job outlives its
-        // execution and is executed exactly once.
+        // SAFETY: we block on the latch below (or prove the ref can never
+        // run again before abandoning it), so the job outlives its
+        // execution and is executed at most once.
         let job_ref = unsafe { job.as_job_ref(place) };
-        self.registry.inject(job_ref);
-        job.latch.wait();
+        // Installs always wait for ingress space, whatever the overflow
+        // policy: degrading a root to inline execution on this external
+        // thread would break any nested `join`/`scope`, which require a
+        // worker context. Backpressure is the correct service semantic for
+        // a blocking call anyway.
+        match self.registry.inject(job_ref, true) {
+            Inject::Queued => {}
+            Inject::Full(_) | Inject::Refused(_) => {
+                // A waiting inject only refuses on shutdown or poison.
+                // Shutdown is unreachable from safe code (`Drop` takes the
+                // pool by value), so report the poisoning; the returned ref
+                // targets our own stack job, which no worker has seen —
+                // dropping it is sound.
+                std::panic::panic_any(PoisonedPool::new(self.registry.poison_message()));
+            }
+        }
+        // Poisoning-aware wait. The common path is one (possibly long)
+        // timed wait per 50ms slice with zero extra synchronization; the
+        // poisoned path must distinguish "workers are still draining — my
+        // root may yet run" from "everyone exited and my root is stranded".
+        // Only after the exit gate confirms no job can ever execute again
+        // is the unset latch proof of abandonment (and abandoning the stack
+        // frame sound: mailboxes are disarmed on poison, and queue `Drop`s
+        // never execute leftovers).
+        loop {
+            if job.latch.wait_for(Duration::from_millis(50)) {
+                break;
+            }
+            if self.registry.is_poisoned() {
+                self.registry.wait_until_all_exited();
+                if job.latch.probe() {
+                    break;
+                }
+                std::panic::panic_any(PoisonedPool::new(self.registry.poison_message()));
+            }
+        }
         // SAFETY: latch set implies the result was stored.
         match unsafe { job.into_result() } {
             Ok(r) => r,
@@ -297,9 +407,19 @@ impl Pool {
     /// ingress).
     ///
     /// Results must travel through whatever channel `f` captures. A panic
-    /// inside `f` is caught and discarded; the pool survives. Dropping the
+    /// inside `f` is caught — the pool survives — then counted
+    /// ([`WorkerStatsSnapshot::job_panics`](crate::WorkerStatsSnapshot::job_panics))
+    /// and routed to the
+    /// [`panic_handler`](PoolBuilder::panic_handler), if any. Dropping the
     /// pool runs every job already spawned before the drop began — spawned
     /// work is never leaked or silently discarded.
+    ///
+    /// With a bounded [`ingress_capacity`](PoolBuilder::ingress_capacity),
+    /// a full queue makes `spawn` block for space under
+    /// [`OverflowPolicy::Block`] (default) or drop the closure unrun under
+    /// [`OverflowPolicy::Reject`] (counted in
+    /// [`PoolStats::sheds`](crate::PoolStats::sheds)); use
+    /// [`try_spawn`](Pool::try_spawn) to get the closure back instead.
     ///
     /// # Example
     ///
@@ -337,9 +457,80 @@ impl Pool {
         let job = HeapJob::new(f);
         // SAFETY: workers execute every injected ref exactly once, and the
         // shutdown drain guarantees no ref is abandoned (see worker_main),
-        // so the box is always reclaimed.
+        // so the box is always reclaimed; a refused ref is reclaimed or
+        // executed right here before it can leak.
         let job_ref = unsafe { job.into_job_ref(place) };
-        self.registry.inject(job_ref);
+        let wait = self.registry.overflow == OverflowPolicy::Block;
+        match self.registry.inject(job_ref, wait) {
+            Inject::Queued => {}
+            Inject::Full(jr) => {
+                // Reject policy, full queue: shed. Reclaim the box so the
+                // closure's destructor runs, but the closure never does.
+                self.registry.count_shed();
+                // SAFETY: the refused ref came back unexecuted and unshared.
+                drop(unsafe { HeapJob::<F>::reclaim_unexecuted(jr) });
+            }
+            Inject::Refused(jr) => {
+                if self.registry.is_poisoned() {
+                    // No worker will ever run it; shedding (not running on
+                    // this thread) keeps poisoned-pool behavior uniform.
+                    self.registry.count_shed();
+                    // SAFETY: as above.
+                    drop(unsafe { HeapJob::<F>::reclaim_unexecuted(jr) });
+                } else {
+                    // Shutdown race (unreachable from safe code — `Drop`
+                    // takes the pool by value): run inline rather than
+                    // silently lose a spawn.
+                    // SAFETY: as above; executing consumes the ref once.
+                    unsafe { jr.execute() };
+                }
+            }
+        }
+    }
+
+    /// Attempts a **non-blocking** fire-and-forget submission: like
+    /// [`spawn`](Pool::spawn), but when the job cannot be queued right now —
+    /// its bounded ingress queue is full, or the pool is shutting down or
+    /// poisoned — the closure is handed back as `Err` instead of being
+    /// waited, run, or shed. Every `Err` is counted in
+    /// [`PoolStats::ingress_rejects`](crate::PoolStats::ingress_rejects).
+    ///
+    /// This is the load-shedding service entry point: the caller keeps
+    /// ownership of rejected work and decides itself whether to retry,
+    /// divert, or drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the closure when the pool cannot accept it.
+    pub fn try_spawn<F>(&self, f: F) -> Result<(), F>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.try_spawn_at(Place::ANY, f)
+    }
+
+    /// As [`try_spawn`](Pool::try_spawn), but hints the job toward `place`
+    /// (wrapping modulo the pool's place count).
+    ///
+    /// # Errors
+    ///
+    /// Returns the closure when the pool cannot accept it.
+    pub fn try_spawn_at<F>(&self, place: Place, f: F) -> Result<(), F>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let job = HeapJob::new(f);
+        // SAFETY: as in `spawn_at`; a refused ref is reclaimed below.
+        let job_ref = unsafe { job.into_job_ref(place) };
+        match self.registry.inject(job_ref, false) {
+            Inject::Queued => Ok(()),
+            Inject::Full(jr) | Inject::Refused(jr) => {
+                self.registry.count_ingress_reject();
+                // SAFETY: the refused ref came back unexecuted and
+                // unshared, so the box round-trips to its closure.
+                Err(unsafe { HeapJob::<F>::reclaim_unexecuted(jr) }.into_func())
+            }
+        }
     }
 
     /// Runs `f` inside the pool with a [`Scope`](crate::Scope) for
@@ -411,9 +602,19 @@ impl Pool {
         &self.registry.map
     }
 
-    /// A snapshot of per-worker statistics.
+    /// A snapshot of per-worker statistics (plus the pool-level ingress
+    /// reject/shed counters).
     pub fn stats(&self) -> PoolStats {
         self.registry.stats()
+    }
+
+    /// Whether a worker died from a panic in runtime code (a scheduler bug
+    /// or an injected fault). A poisoned pool drains what it can and shuts
+    /// down: in-flight installs return or panic with [`PoisonedPool`], new
+    /// installs fail fast with the same payload, and spawns are shed. Job
+    /// closure panics never poison.
+    pub fn is_poisoned(&self) -> bool {
+        self.registry.is_poisoned()
     }
 
     /// Clears all statistics (typically between a warmup and a measured
@@ -584,5 +785,100 @@ mod tests {
     fn push_threshold_mutates_policy() {
         let pool = Pool::builder().workers(2).push_threshold(11).build().unwrap();
         assert_eq!(pool.policy().push_threshold, 11);
+    }
+
+    /// Parks the pool's single worker inside a job until the returned
+    /// sender fires, so the test controls exactly when the ingress queue
+    /// can drain again. The second channel confirms the worker has *taken*
+    /// the job (queue slot freed) before the test proceeds.
+    fn gate_single_worker(pool: &Pool) -> std::sync::mpsc::Sender<()> {
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        pool.spawn(move || {
+            started_tx.send(()).unwrap();
+            let _ = gate_rx.recv();
+        });
+        started_rx.recv().unwrap();
+        gate_tx
+    }
+
+    #[test]
+    fn try_spawn_bounces_and_counts_when_ingress_is_full() {
+        use nws_sync::atomic::{AtomicBool, Ordering};
+        let pool = Pool::builder().workers(1).ingress_capacity(1).build().unwrap();
+        let gate = gate_single_worker(&pool);
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        assert!(pool.try_spawn(move || done_tx.send(()).unwrap()).is_ok(), "one slot free");
+        assert!(pool.try_spawn(|| ()).is_err(), "queue full: closure handed back");
+        let hit = Arc::new(AtomicBool::new(false));
+        let hit2 = Arc::clone(&hit);
+        let back = pool.try_spawn(move || hit2.store(true, Ordering::SeqCst)).unwrap_err();
+        back(); // the returned closure is the original, still runnable
+        assert!(hit.load(Ordering::SeqCst));
+        gate.send(()).unwrap();
+        done_rx.recv().unwrap();
+        assert_eq!(pool.stats().ingress_rejects, 2);
+        assert_eq!(pool.stats().sheds, 0);
+    }
+
+    #[test]
+    fn spawn_sheds_under_reject_policy_and_drops_captures() {
+        use nws_sync::atomic::{AtomicUsize, Ordering};
+        let pool = Pool::builder()
+            .workers(1)
+            .ingress_capacity(1)
+            .overflow(crate::config::OverflowPolicy::Reject)
+            .build()
+            .unwrap();
+        let gate = gate_single_worker(&pool);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let held = Arc::new(());
+        {
+            let ran = Arc::clone(&ran);
+            pool.spawn(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Queue full: these two are shed — dropped unrun, captures released.
+        for _ in 0..2 {
+            let ran = Arc::clone(&ran);
+            let held = Arc::clone(&held);
+            pool.spawn(move || {
+                let _keep = &held;
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(Arc::strong_count(&held), 1, "shed closures must drop their captures");
+        assert_eq!(pool.stats().sheds, 2);
+        assert_eq!(pool.stats().ingress_rejects, 0);
+        gate.send(()).unwrap();
+        drop(pool); // drains the one queued job
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "shed closures never ran");
+    }
+
+    #[test]
+    fn job_panics_are_counted_and_reach_the_handler() {
+        let seen = Arc::new(nws_sync::atomic::AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let pool = Pool::builder()
+            .workers(2)
+            .panic_handler(move |payload| {
+                assert!(payload.downcast_ref::<&str>().is_some());
+                seen2.fetch_add(1, nws_sync::atomic::Ordering::SeqCst);
+                panic!("handler panic must not kill the worker");
+            })
+            .build()
+            .unwrap();
+        for _ in 0..4 {
+            pool.spawn(|| panic!("job boom"));
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while pool.stats().total_job_panics() < 4 {
+            assert!(std::time::Instant::now() < deadline, "panics must be counted");
+            nws_sync::thread::yield_now();
+        }
+        assert_eq!(seen.load(nws_sync::atomic::Ordering::SeqCst), 4);
+        assert!(!pool.is_poisoned(), "job panics never poison");
+        assert_eq!(pool.install(|| 21), 21, "pool stays fully usable");
     }
 }

@@ -2,6 +2,7 @@
 //! steal protocol with coin flip, lazy work pushing, per-place external
 //! ingress, and the worker sleep/wake layer.
 
+use crate::config::OverflowPolicy;
 use crate::injector::IngressQueue;
 use crate::job::JobRef;
 use crate::latch::Probe;
@@ -9,16 +10,23 @@ use crate::mailbox::Mailbox;
 use crate::sleep::{Sleep, SleepOutcome};
 use crate::stats::{bump, Category, Clock, LocalCounters, PoolStats, WorkerStats};
 use nws_deque::{the_deque, Full, TheStealer, TheWorker};
-use nws_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use nws_sync::{Condvar, Mutex};
+use nws_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use nws_sync::{CachePadded, Condvar, Mutex};
 use nws_topology::{
     worker_rng_seed, CoinFlip, Place, SchedPolicy, SplitMix64, StealDistribution, Topology,
     WorkerMap,
 };
 use nws_trace::{TraceEvent, TraceSink};
+use std::any::Any;
 use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// The hook a pool invokes (on the panicking worker's thread) for every
+/// caught fire-and-forget job panic — see
+/// [`PoolBuilder::panic_handler`](crate::PoolBuilder::panic_handler).
+pub(crate) type PanicHandler = Arc<dyn Fn(Box<dyn Any + Send>) + Send + Sync>;
 
 /// Outcome of a PUSHBACK episode.
 pub(crate) enum PushOutcome {
@@ -26,6 +34,35 @@ pub(crate) enum PushOutcome {
     Delivered,
     /// The threshold was exhausted; the pusher keeps the job.
     Kept(JobRef),
+}
+
+/// Outcome of [`Registry::inject`].
+pub(crate) enum Inject {
+    /// The job is on an ingress queue; workers were woken.
+    Queued,
+    /// The designated (bounded) ingress queue is full; the job comes back
+    /// to the caller untouched.
+    Full(JobRef),
+    /// The pool is shutting down or poisoned; no queue would ever drain the
+    /// job, so it comes back to the caller untouched.
+    Refused(JobRef),
+}
+
+/// Construction-time options for [`Registry::new`] — the knobs
+/// [`PoolBuilder`](crate::PoolBuilder) collects, bundled so the signature
+/// doesn't grow a positional argument per robustness feature.
+pub(crate) struct RegistryOptions {
+    pub policy: SchedPolicy,
+    pub stats_enabled: bool,
+    pub deque_capacity: usize,
+    pub seed: u64,
+    pub record_trace: bool,
+    /// Per-place ingress queue capacity (`None` = unbounded).
+    pub ingress_capacity: Option<usize>,
+    /// What `spawn` does when a bounded ingress queue is full.
+    pub overflow: OverflowPolicy,
+    /// Hook invoked for every caught fire-and-forget job panic.
+    pub panic_handler: Option<PanicHandler>,
 }
 
 /// Shared state of a pool.
@@ -55,10 +92,36 @@ pub(crate) struct Registry {
     next_ingress: AtomicUsize,
     pub(crate) sleep: Sleep,
     shutdown: AtomicBool,
+    /// Set (with [`shutdown`](Self::shutdown)) when a worker hit a panic in
+    /// *runtime* code — a genuine scheduler bug or an injected fault. A
+    /// poisoned pool drains and stops; new installs fail fast with
+    /// [`PoisonedPool`](crate::PoisonedPool). Job-closure panics do **not**
+    /// poison (they are caught per job representation).
+    poisoned: AtomicBool,
+    /// First-wins summary of the panic payload that poisoned the pool.
+    poison_msg: Mutex<Option<String>>,
     /// Startup gate: count of workers that have entered their main loops,
     /// plus the condvar `wait_until_started` blocks on (no busy-spin).
     started: Mutex<usize>,
     started_cv: Condvar,
+    /// Exit gate, the mirror of the startup gate: count of workers whose
+    /// main loops have returned (counters flushed, no further job
+    /// execution). `Pool::install`'s poisoning-aware wait blocks on it to
+    /// distinguish "my root is still being drained" from "everyone is gone
+    /// and my root is stranded".
+    exited: Mutex<usize>,
+    exited_cv: Condvar,
+    /// What `spawn` does when a bounded ingress queue is full.
+    pub(crate) overflow: OverflowPolicy,
+    /// Hook for caught fire-and-forget job panics (builder-installed).
+    panic_handler: Option<PanicHandler>,
+    /// Submissions bounced back to callers by full ingress queues. Pool-
+    /// level atomics (not per-worker cells): the bumping thread is the
+    /// external submitter, which has no `LocalCounters`. Cache-padded so
+    /// a storm of rejects doesn't false-share with neighbouring fields.
+    ingress_rejects: CachePadded<AtomicU64>,
+    /// `spawn`-accepted jobs dropped unrun under [`OverflowPolicy::Reject`].
+    ingress_sheds: CachePadded<AtomicU64>,
     pub(crate) seed: u64,
     /// DAG trace recorder, present when the pool was built with
     /// [`record_trace`](crate::PoolBuilder::record_trace). Spawn edges are
@@ -75,12 +138,18 @@ impl Registry {
     pub(crate) fn new(
         topo: Topology,
         map: WorkerMap,
-        policy: SchedPolicy,
-        stats_enabled: bool,
-        deque_capacity: usize,
-        seed: u64,
-        record_trace: bool,
+        opts: RegistryOptions,
     ) -> (Arc<Registry>, Vec<TheWorker<JobRef>>) {
+        let RegistryOptions {
+            policy,
+            stats_enabled,
+            deque_capacity,
+            seed,
+            record_trace,
+            ingress_capacity,
+            overflow,
+            panic_handler,
+        } = opts;
         let p = map.num_workers();
         let s = map.num_places();
         let mut owners = Vec::with_capacity(p);
@@ -113,12 +182,20 @@ impl Registry {
             worker_stats: (0..p).map(|_| WorkerStats::default()).collect(),
             dists,
             push_candidates,
-            injectors: (0..s).map(|_| IngressQueue::new()).collect(),
+            injectors: (0..s).map(|_| IngressQueue::new(ingress_capacity)).collect(),
             next_ingress: AtomicUsize::new(0),
             sleep: Sleep::new(),
             shutdown: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            poison_msg: Mutex::new(None),
             started: Mutex::new(0),
             started_cv: Condvar::new(),
+            exited: Mutex::new(0),
+            exited_cv: Condvar::new(),
+            overflow,
+            panic_handler,
+            ingress_rejects: CachePadded::new(AtomicU64::new(0)),
+            ingress_sheds: CachePadded::new(AtomicU64::new(0)),
             seed,
             trace: record_trace.then(|| Arc::new(TraceSink::new(p))),
             topo,
@@ -132,13 +209,26 @@ impl Registry {
 
     /// Enqueues an externally submitted job on its designated place's
     /// ingress queue (`Place::ANY` round-robins across places) and wakes
-    /// the pool.
+    /// the pool. With `wait`, a full bounded queue blocks until space frees
+    /// (giving up — [`Inject::Refused`] — if the pool shuts down or poisons
+    /// meanwhile); without it, a full queue hands the job straight back as
+    /// [`Inject::Full`]. The caller decides what refusal means: `install`
+    /// degrades to inline execution, `spawn` sheds or blocks per
+    /// [`OverflowPolicy`], `try_spawn` reports `Err`.
     ///
-    /// Ingress is the latency-critical external entry point, so it
-    /// broadcasts rather than waking one worker: a single `notify_one`
+    /// Ingress is the latency-critical external entry point, so on success
+    /// it broadcasts rather than waking one worker: a single `notify_one`
     /// could land on a join-waiter whose latch was just set, which would
     /// resume its continuation without ever looking for this job.
-    pub(crate) fn inject(&self, mut job: JobRef) {
+    pub(crate) fn inject(&self, mut job: JobRef, wait: bool) -> Inject {
+        // Chaos-tier fault point (no-op in default builds): models the
+        // submitting thread dying at the pool boundary. It fires before any
+        // queueing, so a `panic` action unwinds with the job still owned by
+        // the caller — nothing is half-enqueued.
+        nws_sync::fault::point("ingress.push");
+        if self.is_shutting_down() || self.is_poisoned() {
+            return Inject::Refused(job);
+        }
         let s = self.map.num_places();
         let place = match job.place().index() {
             Some(p) => p % s,
@@ -159,8 +249,21 @@ impl Registry {
             };
             tr.record(lane, TraceEvent::Spawn { task: id, parent, place: job.place().index() });
         }
-        self.injectors[place].push(job);
-        self.sleep.wake_all();
+        let pushed = if wait {
+            self.injectors[place]
+                .push_blocking(job, || self.is_shutting_down() || self.is_poisoned())
+        } else {
+            self.injectors[place].push(job)
+        };
+        match pushed {
+            Ok(()) => {
+                self.sleep.wake_all();
+                Inject::Queued
+            }
+            // A blocking push only fails when its give-up condition fired.
+            Err(job) if wait => Inject::Refused(job),
+            Err(job) => Inject::Full(job),
+        }
     }
 
     pub(crate) fn begin_shutdown(&self) {
@@ -170,6 +273,49 @@ impl Registry {
 
     pub(crate) fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Poisons the pool: a worker hit a panic in *runtime* code (a genuine
+    /// scheduler bug caught by the `worker_main` supervisor, or an injected
+    /// fault caught at its fault point). Records the first payload's
+    /// summary, disarms every mailbox (leftover deposits may reference
+    /// stack frames that a failed install abandons — their `Drop` must leak,
+    /// not execute), and flips the pool into shutdown so workers drain all
+    /// reachable work and exit. Idempotent; later payloads are dropped.
+    pub(crate) fn poison(&self, payload: &(dyn Any + Send)) {
+        {
+            let mut msg = self.poison_msg.lock();
+            if msg.is_none() {
+                *msg = Some(payload_summary(payload));
+            }
+        }
+        self.poisoned.store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            mb.disarm();
+        }
+        self.begin_shutdown();
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// The recorded poison summary (empty string if called unpoisoned —
+    /// only reachable in racy probes).
+    pub(crate) fn poison_message(&self) -> String {
+        self.poison_msg.lock().clone().unwrap_or_default()
+    }
+
+    /// Bumps the reject counter: a submission was bounced back to its
+    /// caller by a full bounded ingress queue.
+    pub(crate) fn count_ingress_reject(&self) {
+        self.ingress_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps the shed counter: an accepted `spawn` closure is being dropped
+    /// unrun under [`OverflowPolicy::Reject`].
+    pub(crate) fn count_shed(&self) {
+        self.ingress_sheds.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Called by each worker as it enters its main loop.
@@ -192,14 +338,41 @@ impl Registry {
         }
     }
 
+    /// Called by each worker after its main loop returns — after the final
+    /// drain, so a job can no longer execute on that worker.
+    fn note_exited(&self) {
+        let mut exited = self.exited.lock();
+        *exited += 1;
+        if *exited == self.map.num_workers() {
+            self.exited_cv.notify_all();
+        }
+    }
+
+    /// Blocks until every worker's main loop has returned. Used by the
+    /// poisoning-aware `install` wait: once this returns, no job will ever
+    /// execute again, so an unset root latch is provably stranded (and an
+    /// abandoned root frame provably unreachable).
+    pub(crate) fn wait_until_all_exited(&self) {
+        let mut exited = self.exited.lock();
+        while *exited < self.map.num_workers() {
+            self.exited_cv.wait(&mut exited);
+        }
+    }
+
     pub(crate) fn stats(&self) -> PoolStats {
-        PoolStats { workers: self.worker_stats.iter().map(|s| s.snapshot()).collect() }
+        PoolStats {
+            workers: self.worker_stats.iter().map(|s| s.snapshot()).collect(),
+            ingress_rejects: self.ingress_rejects.load(Ordering::Relaxed),
+            sheds: self.ingress_sheds.load(Ordering::Relaxed),
+        }
     }
 
     pub(crate) fn reset_stats(&self) {
         for s in &self.worker_stats {
             s.reset();
         }
+        self.ingress_rejects.store(0, Ordering::Relaxed);
+        self.ingress_sheds.store(0, Ordering::Relaxed);
     }
 
     /// Is any work visible pool-wide? Evaluated by a committing sleeper
@@ -216,6 +389,50 @@ impl Registry {
         // spawned siblings onto it, and both the main loop and `wait_until`
         // drain the own deque before stealing.
         self.stealers.iter().any(|st| !st.is_empty())
+    }
+}
+
+/// A human-readable one-liner for a panic payload: the `&str`/`String`
+/// message when there is one, the injected-fault description under the
+/// chaos tier, a type note otherwise.
+pub(crate) fn payload_summary(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(f) = payload.downcast_ref::<nws_sync::fault::InjectedFault>() {
+        f.to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Reports a caught fire-and-forget job panic (the `HeapJob::execute`
+/// catch): counts it when running on a pool worker, then hands the payload
+/// to the pool's panic handler if one is installed — or, in debug builds
+/// without a handler, prints a one-line note so the panic is never
+/// *silently* swallowed. A panicking handler must not take the worker down
+/// with it, so the call itself is wrapped in `catch_unwind`.
+pub(crate) fn note_job_panic(payload: Box<dyn Any + Send>) {
+    let handler = match WorkerThread::current() {
+        Some(w) => {
+            bump!(w.local, job_panics);
+            w.registry.panic_handler.clone()
+        }
+        // Not on a worker (a reclaimed try_spawn closure re-run by the
+        // caller, or a unit test): nothing to count against, no handler.
+        None => None,
+    };
+    match handler {
+        Some(h) => {
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| h(payload)));
+        }
+        None => {
+            #[cfg(debug_assertions)]
+            eprintln!("nws: spawned job panicked: {}", payload_summary(payload.as_ref()));
+            #[cfg(not(debug_assertions))]
+            drop(payload);
+        }
     }
 }
 
@@ -365,6 +582,20 @@ impl WorkerThread {
     /// `job` must be live and not yet executed.
     pub(crate) unsafe fn execute(&self, job: JobRef) {
         self.switch_to(Category::Work);
+        // Chaos-tier fault point (no-op in default builds): models the
+        // runtime dying between claiming a job and running it — the worst
+        // spot, since the ref is already consumed. The injected panic is
+        // caught *here*, never unwinding this frame: the job still executes
+        // exactly once below (a consumed ref must run or leak — and a
+        // stranded latch means deadlock), then the poisoned pool drains and
+        // shuts down via the normal exit path.
+        if nws_sync::fault::enabled() {
+            if let Err(payload) =
+                panic::catch_unwind(AssertUnwindSafe(|| nws_sync::fault::point("job.exec")))
+            {
+                self.registry.poison(payload.as_ref());
+            }
+        }
         let t = job.trace();
         let prev = self.trace_enter(t);
         job.execute();
@@ -467,6 +698,26 @@ impl WorkerThread {
         // (one uncontended fetch_add per nonzero cell — the cost the work
         // path no longer pays).
         self.flush_counters();
+        // Chaos-tier fault point (no-op in default builds): perturbs the
+        // sleep protocol from the sleeper's side. `fail` models a spurious
+        // wakeup (skip the backoff round entirely), `delay` an oversleeping
+        // worker, `panic` a worker dying on its way to sleep. The point
+        // sits here — not in the wake paths — because wake callers
+        // (`take_injected`, pushback) hold live job refs an unwind would
+        // strand; this worker holds nothing.
+        if nws_sync::fault::enabled() {
+            match panic::catch_unwind(AssertUnwindSafe(|| nws_sync::fault::hit("sleep.wake"))) {
+                Ok(false) => {}
+                // Injected spurious wakeup: return to the caller's loop
+                // without sleeping, exactly as a condvar spurious wake
+                // would look from the outside.
+                Ok(true) => return,
+                Err(payload) => {
+                    self.registry.poison(payload.as_ref());
+                    return;
+                }
+            }
+        }
         let sp = &self.registry.policy.sleep;
         *spins += 1;
         if *spins < sp.spin_rounds {
@@ -561,7 +812,23 @@ impl WorkerThread {
             // Outcome 1: mailbox empty — fall back to the deque.
         }
 
-        let job = self.registry.stealers[victim].steal()?;
+        // The deque's "steal.handshake" fault point fires inside `steal()`
+        // (after the lock, before the head claim — see `nws_deque::the`).
+        // A `panic` action is caught here, never unwinding this frame: the
+        // unwind released the steal lock with the indices untouched, so the
+        // deque is consistent, no item was consumed, and this simply
+        // becomes a failed steal attempt on a now-poisoned pool.
+        let job = if nws_sync::fault::enabled() {
+            match panic::catch_unwind(AssertUnwindSafe(|| self.registry.stealers[victim].steal())) {
+                Ok(job) => job?,
+                Err(payload) => {
+                    self.registry.poison(payload.as_ref());
+                    return None;
+                }
+            }
+        } else {
+            self.registry.stealers[victim].steal()?
+        };
         bump!(self.local, steals);
         // The only cross-worker counter write; it lands in the victim's
         // thief-block cacheline, never on its owner-counter lines.
@@ -606,7 +873,27 @@ impl WorkerThread {
             attempts += 1;
             bump!(self.local, push_attempts);
             let r = candidates[(self.next_random() % candidates.len() as u64) as usize];
-            match self.registry.mailboxes[r].try_deposit(job) {
+            // The mailbox's "mailbox.deposit" fault point fires at the top
+            // of `try_deposit`, before the job is boxed (see
+            // `crate::mailbox`). A `panic` action is caught here: `JobRef`
+            // is `Copy`, so this frame still owns `job` — poison the pool,
+            // count the abandoned episode, and keep the job (the thief
+            // executes it inline), exactly the threshold-exhausted path.
+            let deposit = if nws_sync::fault::enabled() {
+                match panic::catch_unwind(AssertUnwindSafe(|| {
+                    self.registry.mailboxes[r].try_deposit(job)
+                })) {
+                    Ok(res) => res,
+                    Err(payload) => {
+                        self.registry.poison(payload.as_ref());
+                        bump!(self.local, push_failures);
+                        break PushOutcome::Kept(job);
+                    }
+                }
+            } else {
+                self.registry.mailboxes[r].try_deposit(job)
+            };
+            match deposit {
                 Ok(()) => {
                     bump!(self.local, push_deliveries);
                     // The deposit target may be asleep. Broadcast, as
@@ -629,7 +916,21 @@ impl WorkerThread {
     }
 }
 
-/// Body of each worker OS thread.
+/// Body of each worker OS thread: a thin supervisor around
+/// [`worker_loop`].
+///
+/// The supervisor's `catch_unwind` is the belt-and-braces net for
+/// **genuine runtime bugs** — injected faults never reach it, because each
+/// fault site catches its own panic (see the guards in `execute`,
+/// `steal_once`, `pushback`, `idle_backoff`; unwinding a worker stack at an
+/// arbitrary protocol point could abandon a frame another worker still
+/// writes to). If the net does fire, the pool is poisoned so the remaining
+/// workers drain and shut down instead of deadlocking on a latch the dead
+/// worker was responsible for, and `install` callers get a
+/// [`PoisonedPool`](crate::PoisonedPool) panic instead of a hang. Either
+/// way the exit bookkeeping below runs: counters flush, the thread-local is
+/// cleared, and the exit gate advances (the poisoning-aware install wait
+/// blocks on it).
 pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorker<JobRef>) {
     let worker = WorkerThread {
         rng: Cell::new(worker_rng_seed(registry.seed, index)),
@@ -643,6 +944,19 @@ pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorke
     WORKER.with(|w| w.set(&worker as *const WorkerThread));
     worker.registry.note_started();
 
+    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| worker_loop(&worker))) {
+        worker.registry.poison(payload.as_ref());
+    }
+
+    worker.flush_counters();
+    worker.clock.flush(worker.stats());
+    WORKER.with(|w| w.set(std::ptr::null()));
+    worker.registry.note_exited();
+}
+
+/// The scheduling loop proper (plus the shutdown drains).
+fn worker_loop(worker: &WorkerThread) {
+    let index = worker.index;
     let mut spins = 0u32;
     loop {
         // find_work starts with the own deque: a scope task executed here
@@ -690,9 +1004,6 @@ pub(crate) fn worker_main(registry: Arc<Registry>, index: usize, deque: TheWorke
             unsafe { worker.execute(job) };
         }
     }
-    worker.flush_counters();
-    worker.clock.flush(worker.stats());
-    WORKER.with(|w| w.set(std::ptr::null()));
 }
 
 #[cfg(test)]

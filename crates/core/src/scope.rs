@@ -193,8 +193,44 @@ impl<'scope> Scope<'scope> {
             }
             // Spawn from outside the pool (the scope handle crossed
             // threads): enter through the ingress queues like any external
-            // submission.
-            _ => self.registry.inject(job_ref),
+            // submission. The latch count above is already committed, so a
+            // task the pool cannot queue (bounded queue full with the pool
+            // poisoned, shutdown race, or an `ingress.push` fault-point
+            // panic) must still execute exactly once: run it inline on this
+            // thread — the scope owner is blocked waiting on the latch, so
+            // the `'scope` borrows are alive right here.
+            _ => {
+                let outcome = if nws_sync::fault::enabled() {
+                    match panic::catch_unwind(AssertUnwindSafe(|| {
+                        self.registry.inject(job_ref, true)
+                    })) {
+                        Ok(o) => o,
+                        Err(payload) => {
+                            // An `ingress.push` fault models this *client*
+                            // thread dying at the pool boundary — it fires
+                            // before any queueing, so the ref is still ours
+                            // (JobRef is Copy) and the pool is healthy. The
+                            // committed latch count obliges us to run the
+                            // task exactly once before re-raising to the
+                            // external caller.
+                            // SAFETY: never queued, unexecuted, unshared.
+                            unsafe { job_ref.execute() }
+                            panic::resume_unwind(payload);
+                        }
+                    }
+                } else {
+                    self.registry.inject(job_ref, true)
+                };
+                match outcome {
+                    crate::registry::Inject::Queued => {}
+                    crate::registry::Inject::Full(jr) | crate::registry::Inject::Refused(jr) => {
+                        // SAFETY: the ref came back unexecuted and
+                        // unshared; executing here consumes it exactly
+                        // once under the live scope borrow.
+                        unsafe { jr.execute() }
+                    }
+                }
+            }
         }
     }
 

@@ -78,6 +78,7 @@ pub(crate) struct WorkerStats {
     pub push_attempts: AtomicU64,
     pub push_deliveries: AtomicU64,
     pub push_failures: AtomicU64,
+    pub job_panics: AtomicU64,
     /// Thief-written block, on its own cacheline(s).
     pub thief: ThiefStats,
 }
@@ -101,6 +102,7 @@ pub(crate) struct LocalCounters {
     pub push_attempts: Cell<u64>,
     pub push_deliveries: Cell<u64>,
     pub push_failures: Cell<u64>,
+    pub job_panics: Cell<u64>,
 }
 
 /// Bumps a [`LocalCounters`] cell: a plain, non-atomic increment.
@@ -137,6 +139,7 @@ impl LocalCounters {
         drain(&self.push_attempts, &stats.push_attempts);
         drain(&self.push_deliveries, &stats.push_deliveries);
         drain(&self.push_failures, &stats.push_failures);
+        drain(&self.job_panics, &stats.job_panics);
     }
 }
 
@@ -169,6 +172,7 @@ impl WorkerStats {
             push_attempts: self.push_attempts.load(Relaxed),
             push_deliveries: self.push_deliveries.load(Relaxed),
             push_failures: self.push_failures.load(Relaxed),
+            job_panics: self.job_panics.load(Relaxed),
         }
     }
 
@@ -190,6 +194,7 @@ impl WorkerStats {
         self.push_attempts.store(0, Relaxed);
         self.push_deliveries.store(0, Relaxed);
         self.push_failures.store(0, Relaxed);
+        self.job_panics.store(0, Relaxed);
     }
 }
 
@@ -250,6 +255,11 @@ pub struct WorkerStatsSnapshot {
     pub push_deliveries: u64,
     /// PUSHBACK episodes abandoned at the threshold.
     pub push_failures: u64,
+    /// Fire-and-forget job closures that panicked on this worker. The
+    /// panic is caught (never unwinds the worker), counted here, and routed
+    /// to the pool's panic handler — see
+    /// [`PoolBuilder::panic_handler`](crate::PoolBuilder::panic_handler).
+    pub job_panics: u64,
 }
 
 /// Statistics for a whole pool.
@@ -257,6 +267,16 @@ pub struct WorkerStatsSnapshot {
 pub struct PoolStats {
     /// One snapshot per worker, by index.
     pub workers: Vec<WorkerStatsSnapshot>,
+    /// Submissions refused back to the caller by a full bounded ingress
+    /// queue: every `Err` from [`Pool::try_spawn`](crate::Pool::try_spawn),
+    /// plus `install` calls that had to wait-and-degrade. Pool-level (not
+    /// per-worker) because the bouncing thread is external.
+    pub ingress_rejects: u64,
+    /// Jobs accepted by `spawn` but dropped unrun under
+    /// [`OverflowPolicy::Reject`](crate::OverflowPolicy::Reject) because
+    /// the ingress queue was full. Each shed closure is dropped (its
+    /// destructor runs) but never executed.
+    pub sheds: u64,
 }
 
 impl PoolStats {
@@ -338,6 +358,11 @@ impl PoolStats {
     /// Total worker sleep/wake cycles.
     pub fn total_wakeups(&self) -> u64 {
         self.workers.iter().map(|w| w.wakeups).sum()
+    }
+
+    /// Total fire-and-forget job panics caught (and reported) by workers.
+    pub fn total_job_panics(&self) -> u64 {
+        self.workers.iter().map(|w| w.job_panics).sum()
     }
 }
 
@@ -449,14 +474,17 @@ mod tests {
                     sched_ns: 3,
                     idle_ns: 4,
                     steals: 2,
+                    job_panics: 1,
                     ..Default::default()
                 },
             ],
+            ..Default::default()
         };
         assert_eq!(stats.total_work_ns(), 30);
         assert_eq!(stats.total_sched_ns(), 4);
         assert_eq!(stats.total_idle_ns(), 6);
         assert_eq!(stats.total_steals(), 3);
+        assert_eq!(stats.total_job_panics(), 1);
     }
 
     #[test]

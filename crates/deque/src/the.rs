@@ -337,6 +337,15 @@ impl<T> TheStealer<T> {
     pub fn steal(&self) -> Option<T> {
         let inner = &*self.inner;
         let _guard = inner.lock.lock();
+        // Chaos-tier fault point (a no-op in default builds): `fail` forces
+        // a steal retry, `delay` stalls while holding the steal lock, and
+        // `panic` models a thief dying mid-steal. It fires before the head
+        // claim, so an unwind from here leaves the indices untouched and
+        // releases the lock — the deque stays consistent and no item is
+        // consumed.
+        if nws_sync::fault::hit("steal.handshake") {
+            return None;
+        }
         // Head is stable under the lock; Relaxed read is exact.
         let h = inner.head.load(Relaxed);
         // Publish our claim (H += 1) before reading T — the THE handshake.

@@ -45,6 +45,14 @@ pub struct SchedCounters {
     /// Idle waits for an epoch boundary (simulator only, and only under
     /// the epoch-sync scheduler — the steal-based schedulers never wait).
     pub epoch_waits: Option<u64>,
+    /// Fire-and-forget job panics caught by workers (runtime only).
+    pub job_panics: Option<u64>,
+    /// Submissions bounced back to callers by full bounded ingress queues
+    /// (runtime only).
+    pub ingress_rejects: Option<u64>,
+    /// Accepted spawns dropped unrun under the shedding overflow policy
+    /// (runtime only).
+    pub sheds: Option<u64>,
 }
 
 impl SchedCounters {
@@ -65,6 +73,9 @@ impl SchedCounters {
             "wakeups",
             "scope",
             "epoch wait",
+            "panics",
+            "rejects",
+            "sheds",
         ]
     }
 
@@ -88,6 +99,9 @@ impl SchedCounters {
             opt(self.wakeups),
             opt(self.scope_spawns),
             opt(self.epoch_waits),
+            opt(self.job_panics),
+            opt(self.ingress_rejects),
+            opt(self.sheds),
         ]
     }
 }
@@ -128,6 +142,9 @@ mod tests {
             wakeups: Some(11),
             scope_spawns: Some(13),
             epoch_waits: None,
+            job_panics: Some(0),
+            ingress_rejects: Some(17),
+            sheds: Some(19),
         };
         assert_eq!(SchedCounters::headers().len(), c.row().len());
     }

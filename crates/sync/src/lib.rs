@@ -35,6 +35,8 @@
 // The facade crate is the one place allowed to name the raw primitives.
 #![allow(clippy::disallowed_types, clippy::disallowed_methods)]
 
+pub mod fault;
+
 #[cfg(not(nws_model))]
 mod passthrough;
 #[cfg(not(nws_model))]

@@ -1,0 +1,57 @@
+//! Property tests for the fault-plan text encoding.
+//!
+//! Mirrors the `SchedPolicy` round-trip property in
+//! `crates/topology/tests/properties.rs`: the one-line repro form printed
+//! by a failing chaos run must parse back into the exact plan that
+//! produced it, over every reachable combination of point, hit count, and
+//! action — not just the committed seed matrix.
+
+use nws_sync::fault::{FaultAction, FaultOp, FaultPlan, POINTS};
+use proptest::prelude::*;
+
+/// Any reachable `FaultAction`, delay range included.
+fn any_action() -> impl Strategy<Value = FaultAction> {
+    prop_oneof![
+        Just(FaultAction::Panic),
+        Just(FaultAction::Fail),
+        (0u64..=10_000_000).prop_map(FaultAction::Delay),
+    ]
+}
+
+/// Any op over the declared fault-point catalog.
+fn any_op() -> impl Strategy<Value = FaultOp> {
+    (0..POINTS.len(), 1u64..=1_000_000, any_action()).prop_map(|(p, hit, action)| FaultOp {
+        point: POINTS[p].to_string(),
+        hit,
+        action,
+    })
+}
+
+/// Any plan: any seed, zero to eight ops (zero ops is a valid "no faults"
+/// plan — the chaos harness's control run).
+fn any_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), proptest::collection::vec(any_op(), 0..8))
+        .prop_map(|(seed, ops)| FaultPlan { seed, ops })
+}
+
+proptest! {
+    /// Display → FromStr round-trips every reachable plan, so the one-line
+    /// repro a failing chaos run prints always reconstructs the exact
+    /// fault schedule.
+    #[test]
+    fn fault_plan_encoding_roundtrips_everywhere(plan in any_plan()) {
+        let text = plan.to_string();
+        let parsed: FaultPlan = text.parse().expect("canonical encoding parses");
+        prop_assert_eq!(parsed, plan);
+    }
+
+    /// Seed-derived plans (the chaos matrix's generator) round-trip too,
+    /// and are stable across calls.
+    #[test]
+    fn seeded_plans_roundtrip(seed in any::<u64>()) {
+        let plan = FaultPlan::from_seed(seed);
+        prop_assert_eq!(&FaultPlan::from_seed(seed), &plan);
+        let parsed: FaultPlan = plan.to_string().parse().expect("seeded plan parses");
+        prop_assert_eq!(parsed, plan);
+    }
+}
