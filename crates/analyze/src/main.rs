@@ -1,0 +1,41 @@
+//! CLI for the workspace contract checker.
+//!
+//! ```text
+//! nws_analyze [--root <dir>] [--ci]
+//! ```
+//!
+//! Prints `file:line:rule: message` diagnostics plus the offending line.
+//! Exit code is nonzero on any violation; `--ci` additionally fails on
+//! stale baseline entries (so the committed baselines can never drift
+//! ahead of the tree on main).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = String::from(".");
+    let mut ci = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ci" => ci = true,
+            "--root" => match args.next() {
+                Some(r) => root = r,
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: nws_analyze [--root <dir>] [--ci]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let cfg = nws_analyze::Config::new(root);
+    let diags = nws_analyze::analyze(&cfg);
+    ExitCode::from(nws_analyze::report(&diags, ci) as u8)
+}

@@ -1,0 +1,8 @@
+//! Talking about nws_model in comments is fine; spelling it in a cfg
+//! outside crates/sync silently forks default and checked builds.
+
+#[cfg(nws_model)]
+pub fn forked() {}
+
+#[cfg(all(test, nws_fault))]
+mod chaos_tests {}

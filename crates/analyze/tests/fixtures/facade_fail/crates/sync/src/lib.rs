@@ -1,0 +1,7 @@
+//! The facade itself is exempt: naming raw primitives and the model cfg
+//! here is its whole job.
+
+pub use std::sync::atomic::AtomicUsize;
+
+#[cfg(nws_model)]
+pub fn model_backend_marker() {}

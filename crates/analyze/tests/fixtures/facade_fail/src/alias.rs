@@ -1,0 +1,6 @@
+use std::sync::atomic as raw;
+
+pub fn spin() -> usize {
+    let x = raw::AtomicUsize::new(0);
+    x.load(raw::Ordering::Relaxed)
+}

@@ -1,0 +1,7 @@
+use std::sync::*;
+
+pub fn make() -> Mutex<u8> {
+    // `Mutex::new` itself is unresolvable name-by-name through a glob —
+    // which is exactly why the glob import above is flagged instead.
+    Mutex::new(0)
+}

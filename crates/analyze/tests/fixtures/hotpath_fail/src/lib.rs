@@ -1,0 +1,11 @@
+pub fn hot(n: usize) -> usize {
+    let mut v = Vec::with_capacity(n);
+    Vec::push(&mut v, n);
+    let s = format!("{n}");
+    let owned = s.to_string();
+    v.len() + owned.len()
+}
+
+pub fn unlisted() -> String {
+    format!("not registered; allocation is fine here")
+}

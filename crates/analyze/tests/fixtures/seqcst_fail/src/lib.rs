@@ -1,0 +1,14 @@
+use nws_sync::{AtomicUsize, Ordering};
+
+pub fn hot(c: &AtomicUsize) -> usize {
+    c.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_side_seqcst_is_free() {
+        let _ = super::hot(&nws_sync::AtomicUsize::new(0));
+        let _ = nws_sync::Ordering::SeqCst;
+    }
+}

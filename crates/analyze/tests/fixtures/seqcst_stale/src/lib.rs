@@ -1,0 +1,5 @@
+use nws_sync::{AtomicUsize, Ordering};
+
+pub fn hot(c: &AtomicUsize) -> usize {
+    c.load(Ordering::SeqCst)
+}

@@ -1,0 +1,31 @@
+pub struct W(pub *mut u8);
+
+// SAFETY: W owns its pointer exclusively; moving it across threads is fine.
+unsafe impl Send for W {}
+
+unsafe impl Sync for W {}
+
+/// Reads two bytes.
+pub fn f(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer to at least two live bytes.
+    let a = unsafe { *p };
+    let b = unsafe { *p.add(1) };
+    a.wrapping_add(b)
+}
+
+/// Zeroes a byte.
+///
+/// # Safety
+/// `p` must be valid for writes of one byte.
+pub unsafe fn documented_zero(p: *mut u8) {
+    // SAFETY: the fn's own contract guarantees validity.
+    unsafe { *p = 0 }
+}
+
+pub unsafe fn undocumented_touch(p: *mut u8) {
+    // SAFETY: contract inherited from the caller.
+    unsafe { *p = 1 }
+}
+
+/// Fn-pointer *types* are not unsafe items; no comment required.
+pub type RawHook = unsafe fn(*mut u8);

@@ -81,8 +81,13 @@ struct MutView {
 // SAFETY: views are dispatched to parallel tasks only over disjoint
 // rectangles (phases split C by quadrant); A and B views are read-only.
 unsafe impl Send for View {}
+// SAFETY: a View only ever reads; any number of threads may share one.
 unsafe impl Sync for View {}
+// SAFETY: MutViews handed to concurrent tasks cover disjoint C rectangles
+// (the quadrant recursion never aliases two live mutable views).
 unsafe impl Send for MutView {}
+// SAFETY: as for Send — disjointness of the rectangles, not interior
+// synchronization, is what makes concurrent access sound.
 unsafe impl Sync for MutView {}
 
 impl View {
@@ -133,7 +138,10 @@ fn mul_rec(a: View, b: View, c: MutView, n: usize, block: usize, parallel: bool)
     let h = n / 2;
     // SAFETY: quadrant offsets stay inside the n x n rectangle.
     let (a11, a12, a21, a22) = unsafe { (a.quad(0, 0), a.quad(0, h), a.quad(h, 0), a.quad(h, h)) };
+    // SAFETY: as above — h = n / 2, so every offset is in-rectangle.
     let (b11, b12, b21, b22) = unsafe { (b.quad(0, 0), b.quad(0, h), b.quad(h, 0), b.quad(h, h)) };
+    // SAFETY: in-rectangle as above; the C quadrants are disjoint, and each
+    // phase below hands each quadrant to exactly one task.
     let (c11, c12, c21, c22) = unsafe { (c.quad(0, 0), c.quad(0, h), c.quad(h, 0), c.quad(h, h)) };
     if parallel {
         // Phase 1: four products into the four disjoint C quadrants.

@@ -129,6 +129,9 @@ mod tests {
 
     struct CountJob(AtomicUsize);
     impl Job for CountJob {
+        // SAFETY: per the `Job::execute` contract, `this` is the pointer the
+        // JobRef was built from, still live — upheld by every test below
+        // (jobs outlive the queue they are pushed into).
         unsafe fn execute(this: *const ()) {
             let this = &*(this as *const Self);
             this.0.fetch_add(1, Ordering::SeqCst);
@@ -136,6 +139,8 @@ mod tests {
     }
 
     fn job_ref(j: &CountJob, place: Place) -> JobRef {
+        // SAFETY: callers keep `j` alive until the ref executes (all jobs
+        // here are locals that outlive the queue operations on them).
         unsafe { JobRef::new(j, place) }
     }
 

@@ -161,6 +161,11 @@ where
 
     /// Takes the result stored by a thief.
     ///
+    /// # Safety
+    ///
+    /// The job's `JobRef` must have finished executing (the latch was
+    /// observed set), so no thief still holds a pointer into `self`.
+    ///
     /// # Panics
     ///
     /// Panics if the job never ran (protocol bug).
@@ -179,6 +184,9 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
+    // SAFETY: per the `Job::execute` contract, `this` came from `as_job_ref` on
+    // a StackJob the owner keeps alive until the latch is set, and each
+    // JobRef executes at most once.
     unsafe fn execute(this: *const ()) {
         let this = &*(this as *const Self);
         // Move the closure out; the owner will not touch `func` again
@@ -263,6 +271,9 @@ impl<F> Job for HeapJob<F>
 where
     F: FnOnce() + Send + 'static,
 {
+    // SAFETY: per the `Job::execute` contract, `this` is the leaked box pointer
+    // from `into_job_ref`, executed exactly once, so reclaiming it here is
+    // the unique undo of that leak.
     unsafe fn execute(this: *const ()) {
         // Reclaim the box; its closure runs (and drops) here.
         let this = Box::from_raw(this as *mut Self);
@@ -292,7 +303,7 @@ mod tests {
     fn stack_job_inline_run() {
         let sleep = Sleep::new();
         let job = StackJob::new(SpinLatch::new(&sleep), || 40 + 2);
-        // Never turned into a JobRef: run inline.
+        // SAFETY: never turned into a JobRef, so the job has not executed.
         let r = unsafe { job.run_inline() };
         assert_eq!(r, 42);
     }
@@ -301,10 +312,13 @@ mod tests {
     fn stack_job_execute_then_take() {
         let sleep = Sleep::new();
         let job = StackJob::new(SpinLatch::new(&sleep), || "done".to_string());
+        // SAFETY: `job` is a local that outlives `jr`.
         let jr = unsafe { job.as_job_ref(Place(1)) };
         assert_eq!(jr.place(), Place(1));
+        // SAFETY: executed exactly once, with `job` still alive.
         unsafe { jr.execute() };
         assert!(job.latch.probe());
+        // SAFETY: the latch probe above observed execution complete.
         assert_eq!(unsafe { job.into_result() }.ok(), Some("done".to_string()));
     }
 
@@ -312,9 +326,12 @@ mod tests {
     fn stack_job_panic_captured() {
         let sleep = Sleep::new();
         let job: StackJob<_, _, ()> = StackJob::new(SpinLatch::new(&sleep), || panic!("boom"));
+        // SAFETY: `job` is a local that outlives `jr`.
         let jr = unsafe { job.as_job_ref(Place::ANY) };
-        unsafe { jr.execute() }; // must not propagate here
+        // SAFETY: executed exactly once; must not propagate the panic here.
+        unsafe { jr.execute() };
         assert!(job.latch.probe());
+        // SAFETY: the latch probe above observed execution complete.
         let payload = unsafe { job.into_result() }.unwrap_err();
         assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
     }
@@ -326,26 +343,34 @@ mod tests {
         let ran = Arc::new(AtomicBool::new(false));
         let ran2 = Arc::clone(&ran);
         let job = HeapJob::new(move || ran2.store(true, Ordering::SeqCst));
+        // SAFETY: the ref is executed exactly once, just below.
         let jr = unsafe { job.into_job_ref(Place(3)) };
         assert_eq!(jr.place(), Place(3));
-        unsafe { jr.execute() }; // miri-clean: the box reclaims itself
+        // SAFETY: sole execution of the leaked box — it reclaims itself
+        // (miri-clean).
+        unsafe { jr.execute() };
         assert!(ran.load(Ordering::SeqCst));
     }
 
     #[test]
     fn heap_job_panic_is_contained() {
         let job = HeapJob::new(|| panic!("spawned panic"));
+        // SAFETY: the ref is executed exactly once, just below.
         let jr = unsafe { job.into_job_ref(Place::ANY) };
-        unsafe { jr.execute() }; // must neither propagate nor leak
+        // SAFETY: sole execution; must neither propagate nor leak.
+        unsafe { jr.execute() };
     }
 
     #[test]
     fn job_ref_identity() {
         let sleep = Sleep::new();
         let job = StackJob::new(SpinLatch::new(&sleep), || 0u8);
+        // SAFETY: `job` is a local that outlives `jr`.
         let jr = unsafe { job.as_job_ref(Place::ANY) };
         assert_eq!(jr.id(), &job as *const _ as *const ());
+        // SAFETY: executed exactly once, with `job` still alive.
         unsafe { jr.execute() };
+        // SAFETY: execute returned on this same thread, so the job ran.
         let _ = unsafe { job.into_result() };
     }
 }

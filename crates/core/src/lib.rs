@@ -92,8 +92,10 @@ mod job;
 mod join;
 mod latch;
 mod mailbox;
-#[cfg(all(test, nws_model))]
-mod model_tests;
+nws_sync::model_only! {
+    #[cfg(test)]
+    mod model_tests;
+}
 mod par_for;
 mod pool;
 mod registry;

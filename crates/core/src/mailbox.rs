@@ -100,8 +100,12 @@ impl Mailbox {
     }
 
     /// Stops [`Drop`] from executing leftovers (the poisoning path).
+    /// Release/Acquire, not SeqCst (the seqcst-budget audit): `Drop` takes
+    /// `&mut self` after every worker has exited, so the join/Arc teardown
+    /// already orders this sticky store before the read; Release/Acquire
+    /// documents the flag's publish direction without a global fence.
     pub(crate) fn disarm(&self) {
-        self.disarmed.store(true, Ordering::SeqCst);
+        self.disarmed.store(true, Ordering::Release);
     }
 
     /// Attempts to deposit `job` into any free slot. Fails (returning the
@@ -205,7 +209,7 @@ impl Drop for Mailbox {
     fn drop(&mut self) {
         // Poisoned pool: leak leftovers rather than execute a ref whose
         // owning frame may be gone (see the `disarmed` field docs).
-        if self.disarmed.load(Ordering::SeqCst) {
+        if self.disarmed.load(Ordering::Acquire) {
             return;
         }
         // Execute — don't leak — leftover deposits. By the time the
@@ -231,6 +235,9 @@ mod tests {
 
     struct CountJob(AtomicUsize);
     impl Job for CountJob {
+        // SAFETY: per the `Job::execute` contract, `this` is the pointer the
+        // JobRef was built from, still live — upheld by every test below
+        // (jobs outlive the mailbox they are deposited into).
         unsafe fn execute(this: *const ()) {
             let this = &*(this as *const Self);
             this.0.fetch_add(1, Ordering::SeqCst);
@@ -238,6 +245,8 @@ mod tests {
     }
 
     fn job_ref(j: &CountJob, place: Place) -> JobRef {
+        // SAFETY: callers keep `j` alive until the ref executes (all jobs
+        // here are locals that outlive the mailbox operations on them).
         unsafe { JobRef::new(j, place) }
     }
 
@@ -424,6 +433,8 @@ mod tests {
         let ran2 = Arc::clone(&ran);
         let job = HeapJob::new(move || ran2.store(true, Ordering::SeqCst));
         let m = Mailbox::new(1);
+        // SAFETY: the leaked ref is executed exactly once — by the
+        // mailbox's own drop-drain, which is the property under test.
         m.try_deposit(unsafe { job.into_job_ref(Place(1)) }).unwrap();
         drop(m);
         assert!(ran.load(Ordering::SeqCst), "heap job parked at shutdown must still run");

@@ -289,7 +289,12 @@ impl Registry {
                 *msg = Some(payload_summary(payload));
             }
         }
-        self.poisoned.store(true, Ordering::SeqCst);
+        // Release/Acquire, not SeqCst (the seqcst-budget audit): `poisoned`
+        // is a sticky one-way flag. Release publishes the poison message
+        // written above to any Acquire reader, and nothing orders this flag
+        // against *other* atomics — a reader that misses the flag for a few
+        // polls just shuts down one poll later.
+        self.poisoned.store(true, Ordering::Release);
         for mb in &self.mailboxes {
             mb.disarm();
         }
@@ -297,7 +302,7 @@ impl Registry {
     }
 
     pub(crate) fn is_poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::SeqCst)
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// The recorded poison summary (empty string if called unpoisoned —

@@ -332,6 +332,9 @@ impl<'scope, F> crate::job::Job for ScopeJob<'scope, F>
 where
     F: FnOnce(&Scope<'scope>) + Send + 'scope,
 {
+    // SAFETY: per the `Job::execute` contract, `this` is the leaked box pointer
+    // from the spawn, executed exactly once; the scope it points into is
+    // kept alive by the completion count until this task finishes.
     unsafe fn execute(this: *const ()) {
         // Reclaim the box; the closure moves out and runs here.
         let this = Box::from_raw(this as *mut Self);

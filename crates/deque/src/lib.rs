@@ -33,6 +33,4 @@ mod mutex_deque;
 mod the;
 
 pub use mutex_deque::MutexDeque;
-#[cfg(nws_model)]
-pub use the::the_deque_weak_fence_for_model;
-pub use the::{the_deque, Full, TheStealer, TheWorker};
+pub use the::{the_deque, the_deque_weak_fence_for_model, Full, TheStealer, TheWorker};

@@ -46,7 +46,7 @@
 
 use nws_sync::atomic::{
     fence, AtomicIsize,
-    Ordering::{Acquire, Relaxed, Release, SeqCst},
+    Ordering::{AcqRel, Acquire, Relaxed, Release, SeqCst},
 };
 use nws_sync::cell::UnsafeCell;
 use nws_sync::Mutex;
@@ -81,15 +81,20 @@ struct Inner<T> {
     mask: usize,
     /// Model-tier fault injection: weaken the pop/steal handshake fence to
     /// `AcqRel` so the checked-interleaving tests can prove the checker
-    /// catches the resulting store-buffering double-take. Never set outside
+    /// catches the resulting store-buffering double-take. A
+    /// [`nws_sync::ModelFlag`], so only the model tier can arm it (default
+    /// builds read a folded-away constant `false`). Never set outside
     /// `the_deque_weak_fence_for_model`.
-    #[cfg(nws_model)]
-    weak_fence: bool,
+    weak_fence: nws_sync::ModelFlag,
 }
 
 // SAFETY: slots are transferred between threads with the protocol above;
 // items are Send, and the structure hands out each item exactly once.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: concurrent shared access is mediated by the THE protocol: only
+// the owner writes the tail, thieves serialize head updates under `lock`,
+// and a slot is only read or written by the side whose claim the
+// head/tail handshake committed.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Inner<T> {
@@ -118,15 +123,16 @@ impl<T> Inner<T> {
     }
 
     /// The pop/steal claim-before-read fence. Always `SeqCst` in real
-    /// builds; the model tier can weaken it to prove the checker notices.
+    /// builds (`ModelFlag::get` is a constant `false` there, so the weak
+    /// branch folds away); the model tier can weaken it to prove the
+    /// checker notices.
     #[inline]
     fn handshake_fence(&self) {
-        #[cfg(nws_model)]
-        if self.weak_fence {
-            fence(nws_sync::atomic::Ordering::AcqRel);
-            return;
+        if self.weak_fence.get() {
+            fence(AcqRel);
+        } else {
+            fence(SeqCst);
         }
-        fence(SeqCst);
     }
 }
 
@@ -185,30 +191,25 @@ impl<T> fmt::Debug for TheStealer<T> {
 ///
 /// Panics if `capacity == 0`.
 pub fn the_deque<T>(capacity: usize) -> (TheWorker<T>, TheStealer<T>) {
-    new_deque(
-        capacity,
-        #[cfg(nws_model)]
-        false,
-    )
+    new_deque(capacity, nws_sync::ModelFlag::off())
 }
 
 /// Deliberately broken deque for the checked-interleaving tier: identical
 /// to [`the_deque`] except the pop/steal handshake fence is weakened from
-/// `SeqCst` to `AcqRel`. The model checker must find the resulting
-/// double-take of the last item; see `tests/model.rs`.
+/// `SeqCst` to `AcqRel` *when compiled under the model tier*. The model
+/// checker must find the resulting double-take of the last item; see
+/// `tests/model.rs`. In default builds the weak-fence flag cannot be
+/// armed, so this is exactly [`the_deque`] — present unconditionally so no
+/// caller needs to spell the model cfg (the cfg-confinement rule).
 ///
 /// # Panics
 ///
 /// Panics if `capacity == 0`.
-#[cfg(nws_model)]
 pub fn the_deque_weak_fence_for_model<T>(capacity: usize) -> (TheWorker<T>, TheStealer<T>) {
-    new_deque(capacity, true)
+    new_deque(capacity, nws_sync::ModelFlag::for_model(true))
 }
 
-fn new_deque<T>(
-    capacity: usize,
-    #[cfg(nws_model)] weak_fence: bool,
-) -> (TheWorker<T>, TheStealer<T>) {
+fn new_deque<T>(capacity: usize, weak_fence: nws_sync::ModelFlag) -> (TheWorker<T>, TheStealer<T>) {
     assert!(capacity > 0, "deque capacity must be positive");
     let cap = capacity.next_power_of_two();
     let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
@@ -219,7 +220,6 @@ fn new_deque<T>(
         lock: Mutex::new(()),
         buf,
         mask: cap - 1,
-        #[cfg(nws_model)]
         weak_fence,
     });
     (TheWorker { inner: Arc::clone(&inner), _not_sync: PhantomData }, TheStealer { inner })

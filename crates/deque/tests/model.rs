@@ -14,7 +14,10 @@
 //!   reduced variant so `cargo test` stays fast now that the checked tier
 //!   carries the exhaustive-interleaving burden.
 
-#[cfg(not(nws_model))]
+// `not_model!`/`model_only!` instead of raw `#[cfg(...)]`: the
+// cfg-confinement rule (DESIGN.md §10) keeps the cfg names inside
+// crates/sync.
+nws_sync::not_model! {
 mod stress {
     use nws_deque::{the_deque, Full};
     use nws_sync::atomic::{AtomicBool, Ordering::SeqCst};
@@ -166,8 +169,9 @@ mod stress {
         assert_eq!(all, (0..ITEMS).collect::<Vec<_>>(), "every item exactly once");
     }
 }
+}
 
-#[cfg(nws_model)]
+nws_sync::model_only! {
 mod checked {
     use nws_deque::{the_deque, the_deque_weak_fence_for_model, Full};
     use nws_sync::model::{Builder, FailureKind};
@@ -331,4 +335,5 @@ mod checked {
             assert_eq!(last_item_race(false), 1, "last item must change hands exactly once");
         });
     }
+}
 }

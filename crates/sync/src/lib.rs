@@ -49,6 +49,78 @@ mod model_types;
 #[cfg(nws_model)]
 pub use model_types::{atomic, cell, hint, thread, Condvar, Mutex, MutexGuard, WaitTimeoutResult};
 
+/// Expands each item only when the model-checking tier is compiled in
+/// (`--cfg nws_model`). This macro — together with [`not_model!`] and
+/// [`ModelFlag`] — is how other crates condition on the tier *without
+/// spelling the cfg name*: the static contract (DESIGN.md §10,
+/// `nws_analyze`'s cfg-confinement rule) confines the raw `nws_model` /
+/// `nws_fault` cfg tokens to `crates/sync`, so the set of places where the
+/// two build flavors can diverge stays enumerable by reading one crate.
+///
+/// ```ignore
+/// nws_sync::model_only! {
+///     #[cfg(test)]
+///     mod model_tests;
+/// }
+/// ```
+#[macro_export]
+macro_rules! model_only {
+    ($($it:item)*) => { $( #[cfg(nws_model)] $it )* };
+}
+
+/// Expands each item only in **default** (non-model) builds — the
+/// complement of [`model_only!`]. Used e.g. to keep hardware stress tests
+/// out of the checked-interleaving tier, whose cooperative scheduler would
+/// make real-thread spinning meaningless.
+#[macro_export]
+macro_rules! not_model {
+    ($($it:item)*) => { $( #[cfg(not(nws_model))] $it )* };
+}
+
+/// A boolean that can only be `true` under the model tier.
+///
+/// In default builds it is a zero-sized constant `false`, so a branch on
+/// [`get`](Self::get) folds away entirely — the hook costs nothing on the
+/// work path. The deque uses this for its deliberately-weakened handshake
+/// fence (`the_deque_weak_fence_for_model`): the *flag* exists in every
+/// build, but only the model tier can arm it, and only `crates/sync`
+/// spells the cfg that makes that so.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelFlag {
+    #[cfg(nws_model)]
+    on: bool,
+}
+
+impl ModelFlag {
+    /// The flag every production caller uses: permanently `false`.
+    pub const fn off() -> Self {
+        ModelFlag {
+            #[cfg(nws_model)]
+            on: false,
+        }
+    }
+
+    /// Arms the flag under the model tier; in default builds the argument
+    /// is ignored and the flag stays `false`.
+    pub const fn for_model(on: bool) -> Self {
+        #[cfg(not(nws_model))]
+        let _ = on;
+        ModelFlag {
+            #[cfg(nws_model)]
+            on,
+        }
+    }
+
+    /// Reads the flag. A constant `false` outside the model tier.
+    #[inline(always)]
+    pub const fn get(self) -> bool {
+        #[cfg(nws_model)]
+        return self.on;
+        #[cfg(not(nws_model))]
+        false
+    }
+}
+
 /// Pads and aligns a value to 128 bytes — two cache lines, covering the
 /// adjacent-line prefetcher on x86 — so two `CachePadded` values never
 /// share a cache line (the same trick as `crossbeam_utils::CachePadded`

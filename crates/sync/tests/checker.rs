@@ -156,13 +156,20 @@ fn cell_race_found_and_mutexed_version_clean() {
         guard: Mutex<()>,
         cell: UnsafeCell<u32>,
     }
+    // SAFETY: deliberately over-permissive so the test can share the cell
+    // across threads; the checker — not the type system — is what flags
+    // the unsynchronized variant below.
     unsafe impl Sync for Racy {}
 
     let failure = Builder::exhaustive(2, 100_000)
         .check(|| {
             let r = Arc::new(Racy { guard: Mutex::new(()), cell: UnsafeCell::new(0) });
             let r2 = Arc::clone(&r);
+            // SAFETY: intentionally racy write — the model backend tracks
+            // the access instead of dereferencing raw shared memory; the
+            // race is the expected finding.
             let t = thread::spawn(move || unsafe { r2.cell.with_mut(|p| *p = 1) });
+            // SAFETY: the other half of the intended race, same as above.
             unsafe { r.cell.with_mut(|p| *p = 2) };
             t.join().unwrap();
         })
@@ -174,10 +181,12 @@ fn cell_race_found_and_mutexed_version_clean() {
         let r2 = Arc::clone(&r);
         let t = thread::spawn(move || {
             let _g = r2.guard.lock();
+            // SAFETY: exclusive access via `guard`, held for the access.
             unsafe { r2.cell.with_mut(|p| *p += 1) };
         });
         {
             let _g = r.guard.lock();
+            // SAFETY: exclusive access via `guard`, held for the access.
             unsafe { r.cell.with_mut(|p| *p += 1) };
         }
         t.join().unwrap();

@@ -54,6 +54,8 @@ fn mutex_condvar_handshake() {
 #[test]
 fn unsafe_cell_closure_access() {
     let c = UnsafeCell::new(5u64);
+    // SAFETY: `c` is a local no other thread can reach; accesses are
+    // trivially exclusive.
     unsafe {
         c.with_mut(|p| *p += 1);
         assert_eq!(c.with(|p| *p), 6);

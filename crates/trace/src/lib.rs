@@ -595,5 +595,7 @@ mod tests {
     }
 }
 
-#[cfg(all(test, nws_model))]
-mod model_tests;
+nws_sync::model_only! {
+    #[cfg(test)]
+    mod model_tests;
+}
