@@ -138,8 +138,8 @@ fn main() {
         });
     }
 
-    // --- deque steal: the thief side (lock + handshake per item). The
-    // deque build + fill happens outside the timed region.
+    // --- deque steal: the thief side (fence + CAS claim per item,
+    // lock-free). The deque build + fill happens outside the timed region.
     {
         let (samples, n) = if quick { (5, 1024u64) } else { (31, 1024u64) };
         let median = sample_median_batched(
@@ -160,6 +160,49 @@ fn main() {
         );
         results.push(BenchResult {
             name: "deque_steal",
+            median_ns_per_op: median,
+            ops_per_sample: n,
+            samples,
+        });
+    }
+
+    // --- contended deque steal: N thieves drain one victim concurrently,
+    // hammering the claim CAS against each other — the multi-thief cost
+    // the single-thief series cannot see. Thread spawn/join rides inside
+    // the timed region, so the per-sample item count is large enough to
+    // amortize it to under a ns/op. On a 1-CPU host the thieves timeshare
+    // rather than truly contend; the snapshot carries an honest
+    // `"contended": false` in that case.
+    {
+        let (samples, n) = if quick { (5, 1u64 << 12) } else { (15, 1u64 << 16) };
+        let thieves = host.clamp(2, 8);
+        let median = sample_median_batched(
+            samples,
+            n,
+            || {
+                let (w, s) = the_deque::<u64>(n as usize);
+                for i in 0..n {
+                    w.push(i).unwrap();
+                }
+                (w, s)
+            },
+            |(_w, s)| {
+                std::thread::scope(|scope| {
+                    for _ in 0..thieves {
+                        let s = s.clone();
+                        scope.spawn(move || loop {
+                            if let Some(v) = s.steal() {
+                                std::hint::black_box(v);
+                            } else if s.is_empty() {
+                                break;
+                            }
+                        });
+                    }
+                });
+            },
+        );
+        results.push(BenchResult {
+            name: "deque_steal_mt",
             median_ns_per_op: median,
             ops_per_sample: n,
             samples,
@@ -267,6 +310,36 @@ fn main() {
         });
     }
 
+    // --- gcmark marking flood at workers = host_parallelism: the
+    // steal-storm shape (thousands of tiny chunk jobs radiating from a
+    // few roots) that steal-half batching targets; ns per node marked.
+    {
+        let (samples, p) = if quick {
+            (3, nws_apps::gcmark::Params::test())
+        } else {
+            (9, nws_apps::gcmark::Params { nodes: 1 << 16, ..Default::default() })
+        };
+        let g = nws_apps::gcmark::random_graph(p);
+        let places = 2.min(workers);
+        let pool = Pool::builder()
+            .workers(workers)
+            .places(places)
+            .mode(SchedulerMode::NumaWs)
+            .stats(false)
+            .build()
+            .unwrap();
+        let median = sample_median(samples, g.num_nodes() as u64, || {
+            let marked = pool.install(|| nws_apps::gcmark::run_parallel(&g, p, places));
+            std::hint::black_box(&marked);
+        });
+        results.push(BenchResult {
+            name: "gcmark_app",
+            median_ns_per_op: median,
+            ops_per_sample: g.num_nodes() as u64,
+            samples,
+        });
+    }
+
     // --- trace replay throughput: full discrete-event replay of the
     // committed golden trace (fib(12) recorded from a real 4-worker pool)
     // under the numa-ws scheduler; ns per recorded task. Parsing and DAG
@@ -309,6 +382,10 @@ fn main() {
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     json.push_str(&format!("  \"workers\": {workers},\n"));
+    // Honesty marker for the multi-thief series: on a 1-CPU host the
+    // "concurrent" thieves timeshare one core, so deque_steal_mt measures
+    // protocol overhead under preemption, not true cacheline contention.
+    json.push_str(&format!("  \"contended\": {},\n", host > 1));
     json.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
@@ -327,9 +404,25 @@ fn main() {
     // ("before" = commit caaf65f, the last pre-relaxation tree, which
     // cannot run this bin). Emitted by the generator so regenerating the
     // committed artifact never silently drops the evidence.
+    // Same-day A/B baseline for the PR-10 lock removal: medians from this
+    // bin at commit cb42c3c (the last locked-steal tree) on the same 1-CPU
+    // container, same day. "After" is the live benches array above; the
+    // pre-PR-10 tree has no deque_steal_mt / gcmark_app series to record.
+    json.push_str(concat!(
+        "  \"pr10_steal_lock_removal_baseline\": {\n",
+        "    \"note\": \"median_ns_per_op from this bin at commit cb42c3c (locked THE steal), same container, same day; compare against the benches array\",\n",
+        "    \"deque_push_pop\": 6.93,\n",
+        "    \"deque_steal\": 29.92,\n",
+        "    \"spawn_join_fib\": 24.49,\n",
+        "    \"scope_spawn\": 93.20,\n",
+        "    \"steal_tree\": 60.94,\n",
+        "    \"cilksort_app\": 48.84,\n",
+        "    \"trace_replay_sim\": 155.76\n",
+        "  },\n"
+    ));
     json.push_str(concat!(
         "  \"criterion_evidence\": {\n",
-        "    \"note\": \"PR-3 before/after, vendored-criterion min/mean; 'before' is commit caaf65f on the same 1-CPU container, same day. Steal keeps its lock + one SeqCst fence by design; its min/mean spread is container noise.\",\n",
+        "    \"note\": \"PR-3 before/after, vendored-criterion min/mean; 'before' is commit caaf65f on the same 1-CPU container, same day. Historical: these rows predate PR 10, which removed the steal lock entirely (thief side is now a lock-free CAS claim; see the deque_steal and deque_steal_mt series for current numbers).\",\n",
         "    \"deque_push_pop_1k_the_protocol_us_per_iter\": { \"before_min\": 23.650, \"before_mean\": 25.261, \"after_min\": 12.485, \"after_mean\": 14.013 },\n",
         "    \"work_efficiency_fib30_T1_uncoarsened_ms\": { \"before_min\": 48.180, \"before_mean\": 52.650, \"after_min\": 35.893, \"after_mean\": 39.106 },\n",
         "    \"work_efficiency_fib30_TS_serial_ms\": { \"before_mean\": 2.868, \"after_mean\": 3.158 },\n",

@@ -64,6 +64,14 @@ const COMMITTED_PLANS: &[&str] = &[
     "seed=0x0c job.exec@5=panic",
     "seed=0x0d job.exec@3=delay:500",
     "seed=0x0e job.exec@2=panic steal.handshake@4=fail sleep.wake@1=fail",
+    // The re-sited steal.handshake point under the lock-free CAS steal
+    // (PR 10): the point now fires before any claim, so a delayed thief
+    // stalls only itself (there is no steal lock for it to hold), a
+    // panicking thief unwinds with the indices untouched, and a failed
+    // attempt is indistinguishable from a lost CAS. Stack all three
+    // actions on consecutive steal attempts to prove each degrades
+    // independently within one run.
+    "seed=0x0f steal.handshake@1=delay:500 steal.handshake@2=panic steal.handshake@3=fail",
 ];
 
 /// Seeded plans on top of the committed ones: same generator the docs'
@@ -395,6 +403,21 @@ fn self_test() -> i32 {
         let fired = fault::clear();
         check(
             "seeded job.exec panic degrades (not fails, not hangs)",
+            matches!(outcome, Outcome::Degraded(_)) && !fired.is_empty(),
+            format!("{} with {} fired", outcome.cell(), fired.len()),
+        );
+
+        // The lock-free steal path: a panic at the re-sited
+        // steal.handshake point (fires before any CAS claim) must unwind
+        // into a poisoned-but-correct run — nothing was claimed, so no
+        // job can be lost or doubled — and must actually fire under a
+        // steal-heavy workload.
+        let plan: FaultPlan = "seed=0x5e2f steal.handshake@1=panic".parse().expect("plan parses");
+        fault::install(&plan);
+        let outcome = run_trial("fib", TRIAL_BUDGET);
+        let fired = fault::clear();
+        check(
+            "seeded steal.handshake panic degrades under the lock-free steal",
             matches!(outcome, Outcome::Degraded(_)) && !fired.is_empty(),
             format!("{} with {} fired", outcome.cell(), fired.len()),
         );

@@ -212,6 +212,8 @@ pub fn counters_of_pool(stats: &numa_ws::PoolStats) -> nws_metrics::SchedCounter
         steal_attempts: stats.total_steal_attempts(),
         steals: stats.total_steals(),
         remote_steals: stats.total_remote_steals(),
+        steal_batches: Some(stats.total_steal_batches()),
+        batch_stolen_jobs: Some(stats.total_batch_stolen_jobs()),
         mailbox_takes: stats.total_mailbox_takes(),
         push_attempts: stats.total_push_attempts(),
         push_deliveries: stats.total_push_deliveries(),
@@ -237,6 +239,8 @@ pub fn counters_of_sim(dag: &Dag, report: &SimReport) -> nws_metrics::SchedCount
         steal_attempts: report.counters.steal_attempts,
         steals: report.counters.steals,
         remote_steals: report.counters.remote_steals,
+        steal_batches: None,
+        batch_stolen_jobs: None,
         mailbox_takes: report.counters.mailbox_takes,
         push_attempts: report.counters.push_attempts,
         push_deliveries: report.counters.push_deliveries,

@@ -74,6 +74,8 @@ pub(crate) struct WorkerStats {
     pub remote_steal_attempts: AtomicU64,
     pub steals: AtomicU64,
     pub remote_steals: AtomicU64,
+    pub steal_batches: AtomicU64,
+    pub batch_stolen_jobs: AtomicU64,
     pub mailbox_takes: AtomicU64,
     pub push_attempts: AtomicU64,
     pub push_deliveries: AtomicU64,
@@ -98,6 +100,8 @@ pub(crate) struct LocalCounters {
     pub remote_steal_attempts: Cell<u64>,
     pub steals: Cell<u64>,
     pub remote_steals: Cell<u64>,
+    pub steal_batches: Cell<u64>,
+    pub batch_stolen_jobs: Cell<u64>,
     pub mailbox_takes: Cell<u64>,
     pub push_attempts: Cell<u64>,
     pub push_deliveries: Cell<u64>,
@@ -105,11 +109,16 @@ pub(crate) struct LocalCounters {
     pub job_panics: Cell<u64>,
 }
 
-/// Bumps a [`LocalCounters`] cell: a plain, non-atomic increment.
+/// Bumps a [`LocalCounters`] cell: a plain, non-atomic increment (or, with
+/// a third argument, a non-atomic add — e.g. the per-episode spill count).
 macro_rules! bump {
     ($local:expr, $field:ident) => {{
         let cell = &$local.$field;
         cell.set(cell.get().wrapping_add(1));
+    }};
+    ($local:expr, $field:ident, $n:expr) => {{
+        let cell = &$local.$field;
+        cell.set(cell.get().wrapping_add($n));
     }};
 }
 pub(crate) use bump;
@@ -135,6 +144,8 @@ impl LocalCounters {
         drain(&self.remote_steal_attempts, &stats.remote_steal_attempts);
         drain(&self.steals, &stats.steals);
         drain(&self.remote_steals, &stats.remote_steals);
+        drain(&self.steal_batches, &stats.steal_batches);
+        drain(&self.batch_stolen_jobs, &stats.batch_stolen_jobs);
         drain(&self.mailbox_takes, &stats.mailbox_takes);
         drain(&self.push_attempts, &stats.push_attempts);
         drain(&self.push_deliveries, &stats.push_deliveries);
@@ -167,6 +178,8 @@ impl WorkerStats {
             remote_steal_attempts: self.remote_steal_attempts.load(Relaxed),
             steals: self.steals.load(Relaxed),
             remote_steals: self.remote_steals.load(Relaxed),
+            steal_batches: self.steal_batches.load(Relaxed),
+            batch_stolen_jobs: self.batch_stolen_jobs.load(Relaxed),
             stolen_from: self.thief.stolen_from.load(Relaxed),
             mailbox_takes: self.mailbox_takes.load(Relaxed),
             push_attempts: self.push_attempts.load(Relaxed),
@@ -189,6 +202,8 @@ impl WorkerStats {
         self.remote_steal_attempts.store(0, Relaxed);
         self.steals.store(0, Relaxed);
         self.remote_steals.store(0, Relaxed);
+        self.steal_batches.store(0, Relaxed);
+        self.batch_stolen_jobs.store(0, Relaxed);
         self.thief.stolen_from.store(0, Relaxed);
         self.mailbox_takes.store(0, Relaxed);
         self.push_attempts.store(0, Relaxed);
@@ -245,6 +260,16 @@ pub struct WorkerStatsSnapshot {
     pub steals: u64,
     /// Successful steals from victims on another socket.
     pub remote_steals: u64,
+    /// Steal episodes by this worker that spilled at least one extra job
+    /// into its own deque (steal-half batching). A subset of [`steals`]:
+    /// each successful episode counts one steal regardless of batch size.
+    ///
+    /// [`steals`]: WorkerStatsSnapshot::steals
+    pub steal_batches: u64,
+    /// Extra jobs claimed by this worker's batch steals beyond the one
+    /// returned to run — i.e. jobs spilled into its own deque (or relayed
+    /// onward via PUSHBACK when earmarked for another place).
+    pub batch_stolen_jobs: u64,
     /// Times this worker's own deque was stolen from.
     pub stolen_from: u64,
     /// Jobs taken from mailboxes (own or a victim's).
@@ -313,6 +338,17 @@ impl PoolStats {
     /// Total steal attempts that targeted another socket.
     pub fn total_remote_steal_attempts(&self) -> u64 {
         self.workers.iter().map(|w| w.remote_steal_attempts).sum()
+    }
+
+    /// Total steal episodes that spilled extra jobs (steal-half batching).
+    pub fn total_steal_batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_batches).sum()
+    }
+
+    /// Total extra jobs claimed by batch steals beyond the ones run
+    /// directly by their thief.
+    pub fn total_batch_stolen_jobs(&self) -> u64 {
+        self.workers.iter().map(|w| w.batch_stolen_jobs).sum()
     }
 
     /// Total mailbox deliveries.

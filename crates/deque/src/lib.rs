@@ -1,13 +1,15 @@
 //! Work-stealing deques for the NUMA-WS runtime.
 //!
-//! The centerpiece is [`the_deque`], an implementation of the Cilk-5 **THE
+//! The centerpiece is [`the_deque`], descended from the Cilk-5 **THE
 //! protocol** (Frigo, Leiserson, Randall — PLDI 1998), which the paper keeps
 //! unchanged in NUMA-WS (§II): the worker that owns the deque pushes and
-//! pops at the *tail* without taking any lock on the common path, while
-//! thieves steal from the *head* under a per-deque lock. Owner and thieves
-//! only synchronize when they might be going after the same (last) item,
-//! which is exactly the work-first principle — overhead lands on the steal
-//! path, not the work path.
+//! pops at the *tail* without any lock or fence on the common path, while
+//! thieves claim the oldest item at the *head* by lock-free CAS (the
+//! Chase-Lev protocol — the modern form of THE's thief side), one item at a
+//! time or in steal-half batches ([`TheStealer::steal_batch`]). Owner and
+//! thieves only synchronize when they might be going after the same (last)
+//! item, which is exactly the work-first principle — overhead lands on the
+//! steal path, not the work path.
 //!
 //! [`MutexDeque`] is a deliberately naive fully-locked deque used by the
 //! benchmark suite to quantify what the THE protocol buys on the work path.
@@ -33,4 +35,7 @@ mod mutex_deque;
 mod the;
 
 pub use mutex_deque::MutexDeque;
-pub use the::{the_deque, the_deque_weak_fence_for_model, Full, TheStealer, TheWorker};
+pub use the::{
+    the_deque, the_deque_naive_batch_for_model, the_deque_weak_fence_for_model, Full, TheStealer,
+    TheWorker,
+};

@@ -3,11 +3,15 @@
 //! - **Checked-interleaving tier** (`nws_model`): the deque runs on the
 //!   `nws_sync` model-checking backend, which explores thread
 //!   interleavings *and* weak-memory outcomes exhaustively (bounded
-//!   preemptions). The tier proves the pop/steal last-item handshake and
-//!   the tiny-ring wrap-around exactly-once property over every explored
-//!   schedule, and — the teeth — proves the checker *finds* the
-//!   double-take when the handshake fence is weakened from `SeqCst` to
-//!   `AcqRel`, both by exhaustive search and from a committed replay seed.
+//!   preemptions). The tier proves exactly-once over every explored
+//!   schedule for the lock-free CAS steal — last-item arbitration,
+//!   two thieves racing one owner, the capacity-2 wrap-around, and a
+//!   batch steal racing the owner's pop — and, the teeth, proves the
+//!   checker *finds* the double-take in two deliberately weakened
+//!   variants: the handshake fence demoted from `SeqCst` to `AcqRel`
+//!   (a weak-memory bug, reproduced both by exhaustive search and from
+//!   a committed replay seed) and the batch claim collapsed to a single
+//!   wide CAS (a plain-interleaving bug — no weak memory needed).
 //! - **Stress tier** (default): proptest sequential-model equivalence
 //!   plus slimmed concurrent ping-pong runs on real hardware. The heavy
 //!   stress counts live in `src/the.rs`'s unit tests; this tier keeps a
@@ -85,7 +89,7 @@ mod stress {
     /// Drives one owner against `thieves` concurrent thieves for `items`
     /// uniquely numbered items, with the owner alternating between push
     /// bursts and pop bursts (the ping-pong keeps the deque near-empty so
-    /// the last-item arbitration and thief back-off paths fire constantly,
+    /// the last-item CAS arbitration and lost-claim paths fire constantly,
     /// not just the steady-state bulk paths). Returns all items each side
     /// got.
     fn ping_pong(items: u64, thieves: usize, capacity: usize, burst: u64) -> Vec<u64> {
@@ -94,13 +98,21 @@ mod stress {
         let mut harvested: Vec<u64> = Vec::with_capacity(items as usize);
         let stolen: Vec<Vec<u64>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..thieves)
-                .map(|_| {
+                .map(|tid| {
                     let s = s.clone();
                     let done = &done;
+                    // Alternate single steals and steal-half batches so
+                    // both claim shapes contend on the same head.
                     scope.spawn(move || {
                         let mut local = Vec::new();
+                        let batching = tid % 2 == 0;
                         loop {
-                            if let Some(v) = s.steal() {
+                            let got = if batching {
+                                s.steal_batch(4, |v| local.push(v))
+                            } else {
+                                s.steal()
+                            };
+                            if let Some(v) = got {
                                 local.push(v);
                             } else if done.load(SeqCst) {
                                 break;
@@ -173,16 +185,21 @@ mod stress {
 
 nws_sync::model_only! {
 mod checked {
-    use nws_deque::{the_deque, the_deque_weak_fence_for_model, Full};
+    use nws_deque::{
+        the_deque, the_deque_naive_batch_for_model, the_deque_weak_fence_for_model, Full,
+    };
     use nws_sync::model::{Builder, FailureKind};
     use nws_sync::thread;
 
     /// A seed (as reported by `Failure::seed` on a random exploration)
-    /// whose schedule drives the weak-fence deque into the last-item
-    /// double-take. Committed so the regression reproduces deterministically
-    /// on the first schedule of a test run — no search required — and so a
-    /// future fence regression has a known-bad witness to replay against.
-    const WEAK_FENCE_DOUBLE_TAKE_SEED: u64 = 0x910A_2DEC_8902_5CC1;
+    /// whose schedule drives the weak-fence deque into the two-item
+    /// double-take (see [`two_item_race`]). Committed so the regression
+    /// reproduces deterministically on the first schedule of a test run —
+    /// no search required — and so a future fence regression has a
+    /// known-bad witness to replay against. Re-searched for this protocol:
+    /// the CAS-steal failure shape differs from the locked THE deque's, so
+    /// the old seed's schedule no longer drives the bug.
+    const WEAK_FENCE_DOUBLE_TAKE_SEED: u64 = 0x4793_C02F_6515_8801;
 
     /// Owner pops while a thief steals, two items in flight, then the
     /// owner drains what is left: every explored schedule must hand out
@@ -257,50 +274,159 @@ mod checked {
         });
     }
 
-    /// The single-item race at the heart of the THE handshake, as a
-    /// reusable body: returns how many times the one item was handed out.
-    /// With the correct `SeqCst` fence this is always exactly 1; with the
-    /// weakened fence both sides can read the other's stale index and
-    /// both take slot 0.
-    fn last_item_race(weak: bool) -> usize {
-        let (w, s) =
-            if weak { the_deque_weak_fence_for_model::<u32>(2) } else { the_deque::<u32>(2) };
-        w.push(7).unwrap();
-        let t = thread::spawn(move || s.steal());
-        let mine = w.pop();
-        let stolen = t.join().unwrap();
-        let mut count = usize::from(mine.is_some()) + usize::from(stolen.is_some());
-        if count == 0 {
-            // Both sides backed off: the item must still be in the deque.
-            count += usize::from(w.pop().is_some());
-        }
-        count
+    /// Two thieves CAS-claiming against each other and against the owner:
+    /// head is the single arbitration point, so every explored schedule
+    /// must hand out both items exactly once across the three channels.
+    /// A lost claim CAS legally returns `None` with items remaining; the
+    /// owner's drain after the join must then find them.
+    #[test]
+    fn two_thief_cas_steal_exactly_once() {
+        Builder::exhaustive(2, 200_000).run(|| {
+            let (w, s) = the_deque::<u32>(4);
+            w.push(1).unwrap();
+            w.push(2).unwrap();
+            let s2 = s.clone();
+            let t1 = thread::spawn(move || s.steal());
+            let t2 = thread::spawn(move || s2.steal());
+            let mut all = Vec::new();
+            all.extend(t1.join().unwrap());
+            all.extend(t2.join().unwrap());
+            while let Some(v) = w.pop() {
+                all.push(v);
+            }
+            all.sort_unstable();
+            assert_eq!(all, [1, 2], "lost or duplicated an item");
+        });
     }
 
-    /// The correctly fenced deque hands out the contested last item
-    /// exactly once on EVERY schedule — and the state space is small
-    /// enough that the exploration is complete, so this is a proof over
-    /// the model, not a sample.
+    /// A steal-half batch racing the owner's pops, as a reusable body:
+    /// three items, a thief batch-stealing (observes up to 3, so claims
+    /// up to 2), the owner popping twice concurrently, then draining.
+    /// Returns every item handed out, sorted. With the per-item claim
+    /// loop this is `[1, 2, 3]` on every schedule; with the naive wide
+    /// CAS (`CAS(H, H+2)` claiming two indices at once) the owner's
+    /// unarbitrated fast pop of the middle index slips between the
+    /// thief's tail read and its claim, and an item is handed out twice —
+    /// under plain sequential interleaving, no weak memory required.
+    fn batch_vs_pop(naive: bool) -> Vec<u32> {
+        let (w, s) = if naive {
+            the_deque_naive_batch_for_model::<u32>(4)
+        } else {
+            the_deque::<u32>(4)
+        };
+        for v in [1, 2, 3] {
+            w.push(v).unwrap();
+        }
+        let t = thread::spawn(move || {
+            let mut got = Vec::new();
+            if let Some(v) = s.steal_batch(2, |v| got.push(v)) {
+                got.push(v);
+            }
+            got
+        });
+        let mut all = Vec::new();
+        for _ in 0..2 {
+            if let Some(v) = w.pop() {
+                all.push(v);
+            }
+        }
+        all.extend(t.join().unwrap());
+        while let Some(v) = w.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        all
+    }
+
+    /// The batch/owner-pop race on the real deque: exactly-once on every
+    /// explored schedule, because each batch claim re-runs the full
+    /// handshake (fresh head, fence, fresh tail, CAS).
     #[test]
-    fn seqcst_fence_last_item_exactly_once_complete() {
+    fn batch_steal_owner_pop_race_exactly_once() {
+        Builder::exhaustive(2, 200_000).run(|| {
+            assert_eq!(batch_vs_pop(false), [1, 2, 3], "each item must change hands exactly once");
+        });
+    }
+
+    /// THE BATCH ACCEPTANCE TEST: collapse the batch claim to one wide
+    /// CAS and the checker must find the double-take. This is the bug
+    /// that makes "one CAS per batch" unsound (DESIGN.md §4) and the
+    /// reason `steal_batch` claims item-by-item.
+    #[test]
+    fn naive_batch_double_take_found_exhaustive() {
+        let failure = Builder::exhaustive(2, 200_000)
+            .check(|| {
+                assert_eq!(
+                    batch_vs_pop(true),
+                    [1, 2, 3],
+                    "each item must change hands exactly once"
+                );
+            })
+            .expect_err("the wide-CAS batch must double-take under some schedule");
+        assert!(
+            matches!(failure.kind, FailureKind::Panic(ref m) if m.contains("exactly once")),
+            "expected the double-take assertion, got: {failure}"
+        );
+    }
+
+    /// The fence-sensitive race, as a reusable body. With CAS claims the
+    /// classic *single*-item THE race is fence-independent — owner and
+    /// thief CAS the same head and hardware arbitrates — so the weakness
+    /// needs two items and a stale index on each side: the thief's second
+    /// steal reads a stale tail (missing the owner's decrement) while the
+    /// owner's pop reads a stale head (missing the thief's first claim),
+    /// and both fast-take the same middle index. The `SeqCst` fence pair
+    /// forbids exactly that both-stale outcome; `AcqRel` does not.
+    /// Returns every item handed out, sorted — `[1, 2]` iff exactly-once.
+    fn two_item_race(weak: bool) -> Vec<u32> {
+        let (w, s) =
+            if weak { the_deque_weak_fence_for_model::<u32>(4) } else { the_deque::<u32>(4) };
+        w.push(1).unwrap();
+        w.push(2).unwrap();
+        let t = thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..2 {
+                if let Some(v) = s.steal() {
+                    got.push(v);
+                }
+            }
+            got
+        });
+        let mut all = Vec::new();
+        if let Some(v) = w.pop() {
+            all.push(v);
+        }
+        all.extend(t.join().unwrap());
+        while let Some(v) = w.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        all
+    }
+
+    /// The correctly fenced deque hands out the contested items exactly
+    /// once on EVERY schedule — and the state space is small enough that
+    /// the exploration is complete, so this is a proof over the model,
+    /// not a sample.
+    #[test]
+    fn seqcst_fence_two_item_exactly_once_complete() {
         let explored = Builder::exhaustive(2, 200_000)
             .check(|| {
-                assert_eq!(last_item_race(false), 1, "last item must change hands exactly once");
+                assert_eq!(two_item_race(false), [1, 2], "items must change hands exactly once");
             })
             .expect("the SeqCst handshake must verify clean");
         assert!(explored.complete, "exploration must be exhaustive, not truncated");
         assert!(explored.schedules > 1);
     }
 
-    /// THE ISSUE'S ACCEPTANCE TEST: weaken the pop/steal handshake fence
-    /// to `AcqRel` and the checker must find the double-take — the owner
-    /// reads a stale head on its fast path while the thief reads a stale
-    /// tail past its back-off check, and both take slot 0.
+    /// THE FENCE ACCEPTANCE TEST: weaken the pop/steal handshake fence
+    /// to `AcqRel` and the checker must find the two-item double-take
+    /// described on [`two_item_race`].
     #[test]
     fn weak_fence_double_take_found_exhaustive() {
         let failure = Builder::exhaustive(2, 200_000)
             .check(|| {
-                assert_eq!(last_item_race(true), 1, "last item must change hands exactly once");
+                assert_eq!(two_item_race(true), [1, 2], "items must change hands exactly once");
             })
             .expect_err("the AcqRel-fence deque must double-take under some schedule");
         assert!(
@@ -316,7 +442,7 @@ mod checked {
     fn weak_fence_double_take_replays_from_committed_seed() {
         let failure = Builder::replay(WEAK_FENCE_DOUBLE_TAKE_SEED)
             .check(|| {
-                assert_eq!(last_item_race(true), 1, "last item must change hands exactly once");
+                assert_eq!(two_item_race(true), [1, 2], "items must change hands exactly once");
             })
             .expect_err("the committed seed must reproduce the double-take");
         assert!(
@@ -332,7 +458,7 @@ mod checked {
     #[test]
     fn committed_seed_is_clean_on_the_correct_deque() {
         Builder::replay(WEAK_FENCE_DOUBLE_TAKE_SEED).run(|| {
-            assert_eq!(last_item_race(false), 1, "last item must change hands exactly once");
+            assert_eq!(two_item_race(false), [1, 2], "items must change hands exactly once");
         });
     }
 }

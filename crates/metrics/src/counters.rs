@@ -25,6 +25,13 @@ pub struct SchedCounters {
     pub steals: u64,
     /// Successful steals that crossed sockets.
     pub remote_steals: u64,
+    /// Steal episodes that spilled extra jobs into the thief's own deque
+    /// (steal-half batching; runtime only — the simulator steals one
+    /// frame at a time).
+    pub steal_batches: Option<u64>,
+    /// Extra jobs claimed by batch steals beyond the one run directly
+    /// (runtime only).
+    pub batch_stolen_jobs: Option<u64>,
     /// Jobs/frames taken out of mailboxes (own or a victim's).
     pub mailbox_takes: u64,
     /// PUSHBACK deposit attempts.
@@ -64,6 +71,8 @@ impl SchedCounters {
             "steal att",
             "steals",
             "remote",
+            "batches",
+            "batch jobs",
             "mbox takes",
             "push att",
             "push del",
@@ -90,6 +99,8 @@ impl SchedCounters {
             self.steal_attempts.to_string(),
             self.steals.to_string(),
             self.remote_steals.to_string(),
+            opt(self.steal_batches),
+            opt(self.batch_stolen_jobs),
             self.mailbox_takes.to_string(),
             self.push_attempts.to_string(),
             self.push_deliveries.to_string(),
@@ -133,6 +144,8 @@ mod tests {
             steal_attempts: 40,
             steals: 9,
             remote_steals: 3,
+            steal_batches: Some(2),
+            batch_stolen_jobs: Some(6),
             mailbox_takes: 2,
             push_attempts: 5,
             push_deliveries: 4,
@@ -154,7 +167,8 @@ mod tests {
         let sim_side = SchedCounters { steals: 5, ..Default::default() };
         let row = sim_side.row();
         assert_eq!(row[2], "5");
-        assert_eq!(&row[8..12], ["-", "-", "-", "-"], "runtime-only counters absent on sim");
+        assert_eq!(&row[4..6], ["-", "-"], "batching counters absent on sim");
+        assert_eq!(&row[10..14], ["-", "-", "-", "-"], "runtime-only counters absent on sim");
     }
 
     #[test]

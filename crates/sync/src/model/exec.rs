@@ -688,6 +688,23 @@ impl ExecShared {
         st.cells[cid].reads[tid] = Some(clk);
     }
 
+    /// A *speculative* cell read: a schedule point, but neither checked
+    /// against nor recorded for the race detector. For the Chase-Lev
+    /// steal's read-then-CAS-validate idiom, where a losing thief's slot
+    /// read may race a reusing owner write *by design* — the copied bits
+    /// are discarded unless the CAS that follows proves the read was not
+    /// racing. Using this for any read whose value is consumed without
+    /// such validation silently disables the race detector for it.
+    pub(crate) fn cell_read_speculative(&self, tid: usize, slot: &LocSlot) {
+        let mut st = self.lock();
+        st = self.schedule_point(st, tid, false);
+        let _ = {
+            let ExecState { cells, .. } = &mut *st;
+            self.register(slot, cells)
+        };
+        st.threads[tid].bump(tid);
+    }
+
     pub(crate) fn cell_write(&self, tid: usize, slot: &LocSlot) {
         let mut st = self.lock();
         st = self.schedule_point(st, tid, false);

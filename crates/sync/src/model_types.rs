@@ -502,6 +502,32 @@ pub mod cell {
             f(self.inner.get())
         }
 
+        /// Calls `f` with a shared pointer for a *speculative* read: a
+        /// schedule point, but exempt from the race detector (neither
+        /// checked against the last write nor recorded against future
+        /// writes).
+        ///
+        /// For the Chase-Lev read-then-CAS-validate idiom only: a thief
+        /// copies a slot it has not yet claimed, then a CAS decides
+        /// whether the copy is meaningful. A losing thief's copy may have
+        /// raced a reusing owner write — benign, because the bits are
+        /// discarded without inspection.
+        ///
+        /// # Safety
+        ///
+        /// `f` must tolerate the pointee being concurrently mutated: it
+        /// may only copy bits out (e.g. `ptr::read` of a `MaybeUninit`),
+        /// never dereference to a typed value, and the caller must not
+        /// interpret the copied bits unless a subsequent synchronization
+        /// (the validating CAS) proves no concurrent write overlapped the
+        /// read. Same re-entrancy rule as [`with`](UnsafeCell::with).
+        pub unsafe fn with_speculative<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            if let Some(c) = cur_ctx() {
+                c.exec.cell_read_speculative(c.tid, &self.slot);
+            }
+            f(self.inner.get())
+        }
+
         /// Calls `f` with an exclusive (write) pointer to the contents.
         ///
         /// # Safety

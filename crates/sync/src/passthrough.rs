@@ -291,6 +291,25 @@ pub mod cell {
             f(self.inner.get())
         }
 
+        /// Calls `f` with a shared pointer for a *speculative* read —
+        /// one that may race a concurrent write by design (the model
+        /// backend exempts it from the race detector). For the Chase-Lev
+        /// read-then-CAS-validate idiom; see the model backend's doc for
+        /// the full contract.
+        ///
+        /// # Safety
+        ///
+        /// `f` may only copy bits out (e.g. `ptr::read` of a
+        /// `MaybeUninit`), never produce a typed value, and the caller
+        /// must not interpret the copied bits unless a subsequent
+        /// synchronization (the validating CAS) proves no concurrent
+        /// write overlapped the read. Same re-entrancy rule as
+        /// [`with`](UnsafeCell::with).
+        #[inline(always)]
+        pub unsafe fn with_speculative<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.inner.get())
+        }
+
         /// Calls `f` with an exclusive (write) pointer to the contents.
         ///
         /// # Safety
